@@ -1,0 +1,35 @@
+//! Baseline XPath processors used in the TwigM paper's evaluation (§5).
+//!
+//! The paper compares TwigM against four systems. Their release binaries
+//! are long gone (XMLTK 1.01, XSQ 1.0, Galax 0.3.5, XMLTaskForce
+//! 2003-01-30), so this crate re-implements each system's *algorithmic
+//! class* — the property that determines its curve shape in every figure:
+//!
+//! * [`LazyDfa`] — XMLTK's approach: a lazily determinized automaton for
+//!   `XP{/,//,*}`. Blisteringly fast per event (one hash probe), cannot
+//!   evaluate predicates, and its state count can explode exponentially
+//!   with many wildcards (paper §5.2).
+//! * [`NaiveEnum`] — XSQ's approach: streaming evaluation that *explicitly
+//!   materializes every query-pattern match*. One stack entry per
+//!   (element, parent-match) pair instead of TwigM's one per element, so
+//!   recursive data plus descendant axes produce the
+//!   `O(|D|·2^|Q|·k)`-style blow-up the paper criticizes.
+//! * [`inmem`] — the Galax / XMLTaskForce class: parse the entire document
+//!   into a DOM, then evaluate with random access. Polynomial and simple,
+//!   but memory is a multiple of the document size and nothing streams.
+//!
+//! All streaming baselines implement [`twigm::StreamEngine`], so the
+//! benchmark harness can drive every system through one code path. The
+//! in-memory evaluator doubles as the *oracle* for differential testing
+//! of all streaming engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inmem;
+pub mod lazy_dfa;
+pub mod naive;
+
+pub use inmem::{Document, InMemEval};
+pub use lazy_dfa::LazyDfa;
+pub use naive::NaiveEnum;

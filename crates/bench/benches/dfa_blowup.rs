@@ -1,0 +1,75 @@
+//! Micro-benchmark: experiment E9 — the lazy DFA's state-space growth
+//! with wildcard-heavy queries (paper §5.2: "For queries containing
+//! multiple '*', XMLTK needs to build a DFA with an exponential number of
+//! states in the worst case").
+//!
+//! Queries `//*//*…//*/x` with k wildcards are run over varied recursive
+//! data; TwigM's machine stays at k+1 nodes while the DFA's subset states
+//! multiply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twigm::{StreamEngine, TwigM};
+use twigm_baselines::LazyDfa;
+use twigm_datagen::recursive::random_recursive;
+use twigm_xpath::parse;
+
+fn wildcard_query(k: usize) -> String {
+    let mut q = String::new();
+    for _ in 0..k {
+        q.push_str("//*");
+    }
+    q.push_str("/x");
+    q
+}
+
+fn test_doc() -> Vec<u8> {
+    let mut xml = Vec::from(&b"<root>"[..]);
+    let tags = ["x", "y", "z", "w", "v", "u"];
+    let mut seed = 0;
+    let mut count = 0;
+    while count < 8_000 {
+        let mut tree = Vec::new();
+        count += random_recursive(seed, 10, 3, &tags, &mut tree).unwrap();
+        xml.extend_from_slice(&tree);
+        seed += 1;
+    }
+    xml.extend_from_slice(b"</root>");
+    xml
+}
+
+fn run_engine<E: StreamEngine>(mut engine: E, xml: &[u8]) -> u64 {
+    let (ids, _) = twigm::engine::run_engine(&mut engine, xml).unwrap();
+    ids.len() as u64
+}
+
+fn bench_dfa_blowup(c: &mut Criterion) {
+    let xml = test_doc();
+    let mut group = c.benchmark_group("dfa_blowup");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 6] {
+        let query = parse(&wildcard_query(k)).unwrap();
+        group.bench_with_input(BenchmarkId::new("LazyDfa", k), &xml, |b, xml| {
+            b.iter(|| run_engine(LazyDfa::new(&query).unwrap(), xml))
+        });
+        group.bench_with_input(BenchmarkId::new("TwigM", k), &xml, |b, xml| {
+            b.iter(|| run_engine(TwigM::new(&query).unwrap(), xml))
+        });
+    }
+    group.finish();
+
+    // Also report the state counts once (criterion cannot print
+    // non-timing data, so this goes to stderr).
+    for k in [1usize, 2, 4, 6, 8] {
+        let query = parse(&wildcard_query(k)).unwrap();
+        let mut dfa = LazyDfa::new(&query).unwrap();
+        let _ = run_engine(&mut dfa, &xml);
+        eprintln!(
+            "dfa_blowup: k={k} wildcards -> {} DFA states (TwigM machine: {} nodes)",
+            dfa.state_count(),
+            k + 1
+        );
+    }
+}
+
+criterion_group!(benches, bench_dfa_blowup);
+criterion_main!(benches);

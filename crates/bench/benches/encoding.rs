@@ -1,0 +1,33 @@
+//! Micro-benchmark: the compact-encoding ablation (experiment E7) under
+//! criterion statistics — TwigM's stack encoding vs explicit pattern
+//! match materialization on the paper's figure 1(a) worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twigm::{StreamEngine, TwigM};
+use twigm_baselines::NaiveEnum;
+use twigm_datagen::recursive::figure1_string;
+use twigm_xpath::parse;
+
+fn run_engine<E: StreamEngine>(mut engine: E, xml: &[u8]) -> u64 {
+    let (ids, _) = twigm::engine::run_engine(&mut engine, xml).unwrap();
+    ids.len() as u64
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let query = parse("//a[d]//b[e]//c").unwrap();
+    let mut group = c.benchmark_group("encoding_fig1");
+    group.sample_size(15);
+    for n in [16usize, 64, 256] {
+        let xml = figure1_string(n);
+        group.bench_with_input(BenchmarkId::new("TwigM", n), &xml, |b, xml| {
+            b.iter(|| run_engine(TwigM::new(&query).unwrap(), xml.as_bytes()))
+        });
+        group.bench_with_input(BenchmarkId::new("NaiveEnum", n), &xml, |b, xml| {
+            b.iter(|| run_engine(NaiveEnum::new(&query).unwrap(), xml.as_bytes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmark: multi-query filtering (the §6 YFilter/XPush
+//! setting). Compares `MultiTwigM`'s shared-dispatch evaluation of N
+//! standing queries against running N independent TwigM engines over
+//! the same stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twigm::{MultiTwigM, TwigM};
+use twigm_datagen::Dataset;
+use twigm_xpath::parse;
+
+/// A pool of standing queries over the Book schema. Tags rotate so the
+/// shared dispatch index actually discriminates.
+fn query_pool(n: usize) -> Vec<String> {
+    let patterns = [
+        "//section[title]/p",
+        "//book[@year >= 2000]/title",
+        "//section//figure[image]",
+        "//book/author/last",
+        "//section[@difficulty > 5]//title",
+        "//figure[@width > 600]/image",
+        "//book[title]//p",
+        "//section[p][figure]//title",
+    ];
+    (0..n)
+        .map(|i| patterns[i % patterns.len()].to_string())
+        .collect()
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let (xml, _) = Dataset::Book.generate_vec(256 * 1024);
+    let mut group = c.benchmark_group("filtering");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    for n in [1usize, 8, 32, 128] {
+        let queries = query_pool(n);
+        group.bench_with_input(BenchmarkId::new("MultiTwigM", n), &xml, |b, xml| {
+            b.iter(|| {
+                let mut engine = MultiTwigM::new();
+                for q in &queries {
+                    engine.add_query(&parse(q).unwrap()).unwrap();
+                }
+                engine.run(&xml[..]).unwrap().len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("separate_engines", n), &xml, |b, xml| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    let mut engine = TwigM::new(&parse(q).unwrap()).unwrap();
+                    let (ids, _) = twigm::engine::run_engine(&mut engine, &xml[..]).unwrap();
+                    total += ids.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmark: SAX parser throughput over each dataset family.
+//!
+//! The parser sits under every streaming engine, so its event rate is the
+//! floor of every figure-7 number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twigm_datagen::Dataset;
+use twigm_sax::SaxReader;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sax_parse");
+    group.sample_size(20);
+    for ds in Dataset::ALL {
+        let (xml, _) = ds.generate_vec(512 * 1024);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ds.name()), &xml, |b, xml| {
+            b.iter(|| {
+                let mut reader = SaxReader::from_bytes(xml);
+                let mut events = 0u64;
+                while reader.next_event().unwrap().is_some() {
+                    events += 1;
+                }
+                events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

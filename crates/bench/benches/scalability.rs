@@ -1,0 +1,37 @@
+//! Micro-benchmark: the criterion companion of figures 9/10 — TwigM's
+//! time on growing Book data for one query of each class, confirming
+//! linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twigm::{StreamEngine, TwigM};
+use twigm_datagen::Dataset;
+use twigm_xpath::parse;
+
+fn run_engine<E: StreamEngine>(mut engine: E, xml: &[u8]) -> u64 {
+    let (ids, _) = twigm::engine::run_engine(&mut engine, xml).unwrap();
+    ids.len() as u64
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let queries = [
+        ("Q1", "/bib/book/title"),
+        ("Q5", "//section[title]/p"),
+        ("Q9", "//section[figure[image]]//p"),
+    ];
+    for (name, text) in queries {
+        let query = parse(text).unwrap();
+        let mut group = c.benchmark_group(format!("scale_{name}"));
+        group.sample_size(10);
+        for factor in [1usize, 2, 4] {
+            let (xml, _) = Dataset::Book.generate_vec(factor * 256 * 1024);
+            group.throughput(Throughput::Bytes(xml.len() as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(factor), &xml, |b, xml| {
+                b.iter(|| run_engine(TwigM::new(&query).unwrap(), xml))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment E11 — candidate buffering vs. the document's *concurrency*
+//! (the lower-bound lens of Bar-Yossef et al., cited in the paper's §6:
+//! any streaming XPath evaluator must buffer as many candidates as are
+//! simultaneously undecidable).
+//!
+//! Two document families over the query `//r/a[d]/b`:
+//!
+//! * **late-decide**: `<r><a> b×k ... <d/></a></r>` — every `b` is a
+//!   candidate until the `d` at the end of `a` decides them, so any
+//!   correct evaluator buffers k candidates; TwigM's peak must track k
+//!   (matching the lower bound, not exceeding it asymptotically);
+//! * **early-decide**: `<r><a><d/> b×k ...</a></r>` — the same data with
+//!   `d` first: the lower bound is O(1), and TwigM's *eager candidate
+//!   delivery* (monotone formulas flush the moment they hold) reaches it,
+//!   emitting every `b` at its start tag with zero buffering.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin ablation_buffering`
+
+use twigm::{StreamEngine, TwigM};
+use twigm_bench::harness::print_row;
+use twigm_xpath::parse;
+
+fn doc(k: usize, d_first: bool) -> String {
+    let mut xml = String::from("<r><a>");
+    if d_first {
+        xml.push_str("<d/>");
+    }
+    for _ in 0..k {
+        xml.push_str("<b/>");
+    }
+    if !d_first {
+        xml.push_str("<d/>");
+    }
+    xml.push_str("</a></r>");
+    xml
+}
+
+fn peak_candidates(query: &twigm_xpath::Path, xml: &str) -> (u64, u64) {
+    let mut engine = TwigM::new(query).unwrap();
+    let (ids, _) = twigm::engine::run_engine(&mut engine, xml.as_bytes()).unwrap();
+    (engine.stats().peak_candidates, ids.len() as u64)
+}
+
+fn main() {
+    let query = parse("/r/a[d]/b").unwrap();
+    println!("E11: candidate buffering vs document concurrency (query /r/a[d]/b)");
+    println!();
+    let widths = [10, 22, 22, 10];
+    print_row(
+        &widths,
+        &[
+            "k".into(),
+            "peak cand (late d)".into(),
+            "peak cand (early d)".into(),
+            "results".into(),
+        ],
+    );
+    for k in [1usize, 10, 100, 1_000, 10_000] {
+        let (late, n_late) = peak_candidates(&query, &doc(k, false));
+        let (early, n_early) = peak_candidates(&query, &doc(k, true));
+        assert_eq!(n_late, k as u64);
+        assert_eq!(n_early, k as u64);
+        print_row(
+            &widths,
+            &[
+                k.to_string(),
+                late.to_string(),
+                early.to_string(),
+                n_late.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!(
+        "expected: the late-d column grows linearly in k — the problem's \
+         concurrency lower bound, which no correct evaluator can beat — \
+         while the early-d column stays at 0: eager delivery emits each b \
+         at its start tag, matching the information-theoretic optimum on \
+         both document families."
+    );
+}

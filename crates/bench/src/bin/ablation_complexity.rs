@@ -1,0 +1,155 @@
+//! Experiment E8 — checks **Theorem 4.4**: TwigM's running time is
+//! `O((|Q| + R·B)·|Q|·|D|)`.
+//!
+//! Three sweeps, each isolating one variable of the bound:
+//!
+//! 1. `|D|`: Book data at 1x..8x a base size, fixed query — work
+//!    counters and time must grow linearly (constant work/event);
+//! 2. `R` (depth): recursive documents of constant size but growing
+//!    depth — work/event must grow at most linearly in depth;
+//! 3. `|Q|`: chain queries of growing length over fixed data —
+//!    work/event must grow at most quadratically in |Q|.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin ablation_complexity`
+
+use std::time::Instant;
+
+use twigm::{EngineStats, StreamEngine, TwigM};
+use twigm_bench::harness::print_row;
+use twigm_datagen::Dataset;
+use twigm_xpath::parse;
+
+fn main() {
+    sweep_data_size();
+    sweep_depth();
+    sweep_query_size();
+}
+
+fn run_collect(query: &str, xml: &[u8]) -> (EngineStats, std::time::Duration) {
+    let mut engine = TwigM::new(&parse(query).unwrap()).unwrap();
+    let start = Instant::now();
+    let _ = twigm::engine::run_engine(&mut engine, xml).expect("valid xml");
+    (engine.stats().clone(), start.elapsed())
+}
+
+fn sweep_data_size() {
+    println!("E8.1: work vs |D| (query //section[figure]//title on Book data)");
+    let widths = [8, 12, 14, 14, 14];
+    print_row(
+        &widths,
+        &[
+            "size".into(),
+            "events".into(),
+            "work".into(),
+            "work/event".into(),
+            "time".into(),
+        ],
+    );
+    for factor in [1usize, 2, 4, 8] {
+        let (xml, _) = Dataset::Book.generate_vec(factor * 300_000);
+        let (stats, time) = run_collect("//section[figure]//title", &xml);
+        print_row(
+            &widths,
+            &[
+                format!("{}x", factor),
+                stats.events().to_string(),
+                stats.work().to_string(),
+                format!("{:.2}", stats.work() as f64 / stats.events() as f64),
+                format!("{time:.2?}"),
+            ],
+        );
+    }
+    println!("expected: work/event constant (linear scaling in |D|).");
+    println!();
+}
+
+fn sweep_depth() {
+    println!("E8.2: work vs depth R (query //x[y]//x//y, random recursive data)");
+    let widths = [8, 12, 14, 14];
+    print_row(
+        &widths,
+        &[
+            "depth".into(),
+            "events".into(),
+            "work".into(),
+            "work/event".into(),
+        ],
+    );
+    for depth in [8u32, 16, 32, 64] {
+        // Keep the element count roughly constant by shrinking fanout as
+        // depth grows: a chain-heavy document.
+        let mut xml = Vec::new();
+        let tags = ["x", "y"];
+        let mut count = 0u64;
+        let mut seed = 0;
+        while count < 20_000 {
+            // Concatenate independent trees under one root until the
+            // target element count is reached.
+            let mut tree = Vec::new();
+            count += twigm_datagen::recursive::random_recursive(
+                seed, depth, 2, &tags, &mut tree,
+            )
+            .unwrap();
+            xml.extend_from_slice(&tree);
+            seed += 1;
+        }
+        let mut doc = Vec::from(&b"<root>"[..]);
+        doc.extend_from_slice(&xml);
+        doc.extend_from_slice(b"</root>");
+        let (stats, _) = run_collect("//x[y]//x//y", &doc);
+        print_row(
+            &widths,
+            &[
+                depth.to_string(),
+                stats.events().to_string(),
+                stats.work().to_string(),
+                format!("{:.2}", stats.work() as f64 / stats.events() as f64),
+            ],
+        );
+    }
+    println!("expected: work/event grows at most linearly with depth (the R factor).");
+    println!();
+}
+
+fn sweep_query_size() {
+    println!("E8.3: work vs |Q| (chains //x//y//x... over fixed recursive data)");
+    let mut xml = Vec::from(&b"<root>"[..]);
+    let mut seed = 0;
+    let mut count = 0u64;
+    while count < 20_000 {
+        let mut tree = Vec::new();
+        count +=
+            twigm_datagen::recursive::random_recursive(seed, 24, 2, &["x", "y"], &mut tree)
+                .unwrap();
+        xml.extend_from_slice(&tree);
+        seed += 1;
+    }
+    xml.extend_from_slice(b"</root>");
+    let widths = [8, 30, 14, 14];
+    print_row(
+        &widths,
+        &[
+            "|Q|".into(),
+            "query".into(),
+            "work".into(),
+            "work/event".into(),
+        ],
+    );
+    for len in [1usize, 2, 3, 4, 5, 6] {
+        let mut query = String::new();
+        for i in 0..len {
+            query.push_str(if i % 2 == 0 { "//x" } else { "//y" });
+        }
+        let (stats, _) = run_collect(&query, &xml);
+        print_row(
+            &widths,
+            &[
+                len.to_string(),
+                query,
+                stats.work().to_string(),
+                format!("{:.2}", stats.work() as f64 / stats.events() as f64),
+            ],
+        );
+    }
+    println!("expected: polynomial (roughly |Q|*R) growth, never exponential.");
+}

@@ -1,0 +1,75 @@
+//! Experiment E7 — verifies the paper's **compact-encoding claim**
+//! (contribution 1, §1): on figure 1(a) data, TwigM stores `2n + 1` stack
+//! entries to encode the `n²` pattern matches that the explicit approach
+//! materializes one by one.
+//!
+//! Sweeps `n` and reports, for query `//a[d]//b[e]//c`:
+//! peak stack entries (TwigM vs explicit), total match objects created,
+//! and wall-clock time.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin ablation_encoding`
+
+use std::time::Instant;
+
+use twigm::{StreamEngine, TwigM};
+use twigm_baselines::NaiveEnum;
+use twigm_bench::harness::print_row;
+use twigm_datagen::recursive::figure1_string;
+use twigm_xpath::parse;
+
+fn main() {
+    let query = parse("//a[d]//b[e]//c").unwrap();
+    println!("E7: compact encoding on figure 1(a) data, query //a[d]//b[e]//c");
+    println!();
+    let widths = [8, 12, 16, 16, 18, 12, 12];
+    print_row(
+        &widths,
+        &[
+            "n".into(),
+            "matches n^2".into(),
+            "TwigM peak".into(),
+            "XSQ* peak".into(),
+            "XSQ* tuples".into(),
+            "TwigM time".into(),
+            "XSQ* time".into(),
+        ],
+    );
+    for n in [4usize, 8, 16, 32, 64, 128, 256, 512] {
+        let xml = figure1_string(n);
+        let (twig_peak, twig_time) = {
+            let mut engine = TwigM::new(&query).unwrap();
+            let start = Instant::now();
+            run(&mut engine, xml.as_bytes());
+            (engine.stats().peak_entries, start.elapsed())
+        };
+        let (naive_peak, naive_tuples, naive_time) = {
+            let mut engine = NaiveEnum::new(&query).unwrap();
+            let start = Instant::now();
+            run(&mut engine, xml.as_bytes());
+            (
+                engine.stats().peak_entries,
+                engine.stats().tuples_materialized,
+                start.elapsed(),
+            )
+        };
+        print_row(
+            &widths,
+            &[
+                n.to_string(),
+                (n * n).to_string(),
+                twig_peak.to_string(),
+                naive_peak.to_string(),
+                naive_tuples.to_string(),
+                format!("{:.2?}", twig_time),
+                format!("{:.2?}", naive_time),
+            ],
+        );
+    }
+    println!();
+    println!("expected: TwigM peak = 2n+1 (linear); XSQ* peak and tuples grow ~n^2.");
+}
+
+fn run<E: StreamEngine>(engine: &mut E, xml: &[u8]) {
+    let ids = twigm::engine::run_engine(engine, xml).expect("valid xml").0;
+    assert_eq!(ids.len(), 1, "c1 is the only solution");
+}

@@ -1,0 +1,62 @@
+//! Experiment E6 — regenerates **Figure 10: memory usage for Q10 as Book
+//! data size increases**.
+//!
+//! Expected shape (paper §5.5): the streaming systems' memory stays
+//! constant as the data grows from ×1 to ×6; the in-memory class grows
+//! faster than the data.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin fig10_scale_memory
+//!         [--full] [--timeout SECS]`
+
+use twigm_bench::datasets::ensure_duplicated;
+use twigm_bench::harness::{format_mb, print_row, CommonArgs, RunOutcome};
+use twigm_bench::{book_queries, CountingAllocator, SYSTEMS};
+use twigm_datagen::Dataset;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    let args = CommonArgs::parse();
+    let base = args.size_for(Dataset::Book);
+    let q = book_queries()
+        .into_iter()
+        .find(|q| q.name == "Q10")
+        .expect("Q10 exists");
+    let query = q.parse();
+    println!(
+        "Figure 10: peak heap memory for {} = {} as Book data grows",
+        q.name, q.text
+    );
+    println!();
+    let mut header: Vec<String> = vec!["copies".into(), "size".into()];
+    header.extend(SYSTEMS.iter().map(|s| s.name().to_string()));
+    let widths = [8, 10, 12, 12, 12, 12];
+    print_row(&widths, &header);
+    for k in 1..=6usize {
+        let file = ensure_duplicated(Dataset::Book, base, k).expect("dataset generation");
+        let size = std::fs::metadata(&file).expect("metadata").len();
+        let mut cells = vec![format!("x{k}"), format_mb(size)];
+        for sys in SYSTEMS {
+            if !sys.supports(&query) {
+                cells.push("--".into());
+                continue;
+            }
+            let baseline = CountingAllocator::reset_peak();
+            let outcome = sys.run(&query, &file, args.timeout);
+            let peak = CountingAllocator::peak().saturating_sub(baseline);
+            cells.push(match outcome {
+                RunOutcome::Ok(_) => format_mb(peak),
+                RunOutcome::TimedOut => "DNF".into(),
+                RunOutcome::Unsupported => "--".into(),
+                RunOutcome::Error(e) => format!("err: {e}"),
+            });
+        }
+        print_row(&widths, &cells);
+    }
+    println!();
+    println!(
+        "(streaming columns should be flat; InMem* should track the data size, \
+         reproducing figure 10's separation)"
+    );
+}

@@ -1,0 +1,93 @@
+//! Experiment E1 — regenerates **Figure 5: features of the datasets**.
+//!
+//! Prints, for each dataset, its size, element count, maximum depth and
+//! whether it is recursive, next to the paper's reported characteristics.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin fig5_datasets [--full]`
+
+use std::fs;
+
+use twigm_bench::harness::{print_row, CommonArgs};
+use twigm_bench::{datasets, ensure_dataset};
+use twigm_datagen::Dataset;
+use twigm_sax::{Event, SaxReader};
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("Figure 5: features of the datasets (scale {:.2})", args.scale);
+    println!("paper reference: Book 9MB recursive | Benchmark 34MB | Protein 75MB non-recursive");
+    println!();
+    let widths = [10, 10, 12, 10, 10, 10];
+    print_row(
+        &widths,
+        &[
+            "dataset".into(),
+            "size".into(),
+            "elements".into(),
+            "depth".into(),
+            "recursive".into(),
+            "records".into(),
+        ],
+    );
+    for ds in Dataset::ALL {
+        let bytes = args.size_for(ds);
+        let path = ensure_dataset(ds, bytes).expect("dataset generation");
+        let size = fs::metadata(&path).expect("metadata").len();
+        let features = scan(&path);
+        print_row(
+            &widths,
+            &[
+                ds.name().into(),
+                twigm_bench::harness::format_mb(size),
+                features.elements.to_string(),
+                features.depth.to_string(),
+                if features.recursive { "yes" } else { "no" }.into(),
+                features.records.to_string(),
+            ],
+        );
+    }
+    println!();
+    println!(
+        "(generated with seed 42; NumberLevels=20, MaxRepeats=9 per the paper's \
+         IBM XML Generator settings; cache: {})",
+        datasets::cache_dir().display()
+    );
+}
+
+struct Features {
+    elements: u64,
+    depth: u32,
+    recursive: bool,
+    records: u64,
+}
+
+fn scan(path: &std::path::Path) -> Features {
+    let mut reader = SaxReader::from_file(path).expect("open dataset");
+    let mut stack: Vec<String> = Vec::new();
+    let mut features = Features {
+        elements: 0,
+        depth: 0,
+        recursive: false,
+        records: 0,
+    };
+    while let Some(event) = reader.next_event().expect("well-formed dataset") {
+        match event {
+            Event::Start(tag) => {
+                features.elements += 1;
+                features.depth = features.depth.max(tag.level());
+                if tag.level() == 2 {
+                    features.records += 1;
+                }
+                if !features.recursive && stack.iter().any(|t| t == tag.name()) {
+                    features.recursive = true;
+                }
+                stack.push(tag.name().to_string());
+            }
+            Event::End(_) => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    features
+}

@@ -1,0 +1,49 @@
+//! Experiment E3 — regenerates **Figure 7: query execution time** for
+//! (a) Book, (b) Benchmark/auction, (c) Protein.
+//!
+//! Expected shape (paper §5.2): XMLTK fastest on the predicate-free
+//! Q1–Q4; TwigM fastest elsewhere and stable everywhere; the XSQ class
+//! degrades sharply on the recursive Book dataset; the in-memory class
+//! trails the streaming systems.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin fig7_time
+//!         [--full] [--repeats N] [--timeout SECS]`
+
+use twigm_bench::harness::{print_row, timed_cell, CommonArgs};
+use twigm_bench::{auction_queries, book_queries, ensure_dataset, protein_queries, SYSTEMS};
+use twigm_datagen::Dataset;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "Figure 7: query execution time (scale {:.2}, {} repeats, timeout {}s)",
+        args.scale,
+        args.repeats,
+        args.timeout.as_secs()
+    );
+    let panels = [
+        ("(a) Book", Dataset::Book, book_queries()),
+        ("(b) Benchmark", Dataset::Auction, auction_queries()),
+        ("(c) Protein", Dataset::Protein, protein_queries()),
+    ];
+    for (label, ds, queries) in panels {
+        let file = ensure_dataset(ds, args.size_for(ds)).expect("dataset generation");
+        println!();
+        println!("--- {label} ---");
+        let mut header: Vec<String> = vec!["query".into()];
+        header.extend(SYSTEMS.iter().map(|s| s.name().to_string()));
+        let widths = [8, 12, 12, 12, 12];
+        print_row(&widths, &header);
+        for q in &queries {
+            let query = q.parse();
+            let mut cells = vec![q.name.to_string()];
+            for sys in SYSTEMS {
+                cells.push(timed_cell(sys, &query, &file, args.repeats, args.timeout));
+            }
+            print_row(&widths, &cells);
+        }
+    }
+    println!();
+    println!("--  : system does not support the query class");
+    println!("DNF : exceeded the timeout (the paper's 'takes long time' marks)");
+}

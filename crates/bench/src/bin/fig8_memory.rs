@@ -1,0 +1,72 @@
+//! Experiment E4 — regenerates **Figure 8: memory usage** for (a) Book,
+//! (b) Benchmark/auction, (c) Protein.
+//!
+//! Expected shape (paper §5.3): the streaming systems (TwigM, XMLTK,
+//! XSQ) use a small constant amount of memory regardless of dataset
+//! size; the in-memory class needs memory larger than the document and
+//! grows with it (XMLTaskForce runs out of memory on Protein).
+//!
+//! Peak heap bytes are measured with a counting global allocator — the
+//! deterministic equivalent of the paper's Redhat system-monitor
+//! readings.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin fig8_memory
+//!         [--full] [--timeout SECS]`
+
+use twigm_bench::harness::{format_mb, print_row, CommonArgs, RunOutcome};
+use twigm_bench::{
+    auction_queries, book_queries, ensure_dataset, protein_queries, CountingAllocator, SYSTEMS,
+};
+use twigm_datagen::Dataset;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "Figure 8: peak heap memory per (system, query) (scale {:.2})",
+        args.scale
+    );
+    let panels = [
+        ("(a) Book", Dataset::Book, book_queries()),
+        ("(b) Benchmark", Dataset::Auction, auction_queries()),
+        ("(c) Protein", Dataset::Protein, protein_queries()),
+    ];
+    for (label, ds, queries) in panels {
+        let file = ensure_dataset(ds, args.size_for(ds)).expect("dataset generation");
+        let file_size = std::fs::metadata(&file).expect("metadata").len();
+        println!();
+        println!("--- {label} (document: {}) ---", format_mb(file_size));
+        let mut header: Vec<String> = vec!["query".into()];
+        header.extend(SYSTEMS.iter().map(|s| s.name().to_string()));
+        let widths = [8, 12, 12, 12, 12];
+        print_row(&widths, &header);
+        for q in &queries {
+            let query = q.parse();
+            let mut cells = vec![q.name.to_string()];
+            for sys in SYSTEMS {
+                if !sys.supports(&query) {
+                    cells.push("--".into());
+                    continue;
+                }
+                let baseline = CountingAllocator::reset_peak();
+                let outcome = sys.run(&query, &file, args.timeout);
+                let peak = CountingAllocator::peak().saturating_sub(baseline);
+                cells.push(match outcome {
+                    RunOutcome::Ok(_) => format_mb(peak),
+                    RunOutcome::TimedOut => "DNF".into(),
+                    RunOutcome::Unsupported => "--".into(),
+                    RunOutcome::Error(e) => format!("err: {e}"),
+                });
+            }
+            print_row(&widths, &cells);
+        }
+    }
+    println!();
+    println!("--  : system does not support the query class");
+    println!(
+        "(streaming rows should stay near-constant and small; InMem* should \
+         exceed the document size, reproducing figure 8's separation)"
+    );
+}

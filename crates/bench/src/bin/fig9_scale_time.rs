@@ -1,0 +1,49 @@
+//! Experiment E5 — regenerates **Figure 9: query execution time as Book
+//! data size increases** for Q1 (a), Q5 (b) and Q9 (c).
+//!
+//! The Book dataset is duplicated ×1..×6 (the paper's §5.4 methodology)
+//! and each system is timed on each size. Expected shape: TwigM grows
+//! slowly and linearly for simple and complex queries alike; the XSQ
+//! class grows steeply on the recursive data; the in-memory class grows
+//! at least linearly with a large constant.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin fig9_scale_time
+//!         [--full] [--repeats N] [--timeout SECS]`
+
+use twigm_bench::datasets::ensure_duplicated;
+use twigm_bench::harness::{print_row, timed_cell, CommonArgs};
+use twigm_bench::{book_queries, SYSTEMS};
+use twigm_datagen::Dataset;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let base = args.size_for(Dataset::Book);
+    println!(
+        "Figure 9: execution time as Book data size increases (base {:.1}MB x1..x6, {} repeats)",
+        base as f64 / (1024.0 * 1024.0),
+        args.repeats
+    );
+    let queries = book_queries();
+    for name in ["Q1", "Q5", "Q9"] {
+        let q = queries
+            .iter()
+            .find(|q| q.name == name)
+            .expect("query exists");
+        let query = q.parse();
+        println!();
+        println!("--- {} = {} ---", q.name, q.text);
+        let mut header: Vec<String> = vec!["copies".into(), "size".into()];
+        header.extend(SYSTEMS.iter().map(|s| s.name().to_string()));
+        let widths = [8, 10, 12, 12, 12, 12];
+        print_row(&widths, &header);
+        for k in 1..=6usize {
+            let file = ensure_duplicated(Dataset::Book, base, k).expect("dataset generation");
+            let size = std::fs::metadata(&file).expect("metadata").len();
+            let mut cells = vec![format!("x{k}"), twigm_bench::harness::format_mb(size)];
+            for sys in SYSTEMS {
+                cells.push(timed_cell(sys, &query, &file, args.repeats, args.timeout));
+            }
+            print_row(&widths, &cells);
+        }
+    }
+}

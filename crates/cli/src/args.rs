@@ -1,0 +1,215 @@
+//! Hand-rolled argument parsing (the approved dependency list has no CLI
+//! parser, and the surface is small enough not to need one).
+
+/// What to print per match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Pre-order node ids, one per line (default).
+    Ids,
+    /// Serialized XML fragments, one per line.
+    Fragments,
+    /// Only the total count.
+    Count,
+    /// Attribute values (for queries ending in `/@attr`).
+    Values,
+}
+
+/// Which engine evaluates the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Pick PathM / BranchM / TwigM by query class (default).
+    Auto,
+    /// Force the full TwigM machine.
+    Twig,
+    /// Force PathM (predicate-free queries only).
+    PathM,
+    /// Force BranchM (`XP{/,[]}` queries only).
+    BranchM,
+    /// The explicit-enumeration baseline (for cross-checking).
+    Naive,
+    /// The lazy-DFA baseline (predicate-free queries only).
+    Dfa,
+    /// The in-memory DOM baseline (loads the whole input).
+    Dom,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The queries (one = classic mode; several = tagged multi-query).
+    pub queries: Vec<String>,
+    /// Input path (`None` / `-` = stdin).
+    pub file: Option<String>,
+    /// Output mode.
+    pub output: OutputMode,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Print engine work counters to stderr.
+    pub stats: bool,
+    /// Print elapsed time to stderr.
+    pub time: bool,
+    /// Filtering mode: report each matching query once (with `-q`).
+    pub filter: bool,
+}
+
+const HELP: &str = "\
+twigm — streaming XPath (XP{/,//,*,[]}) processor
+
+USAGE:
+    twigm [OPTIONS] QUERY [FILE]
+    twigm [OPTIONS] -q QUERY [-q QUERY]... [FILE]
+
+ARGS:
+    QUERY   an XPath query, e.g. '//book[@year >= 2000]/title';
+            unions are supported: '//a/b | //c[d]'
+    FILE    XML input; omitted or '-' reads stdin
+
+OPTIONS:
+    -q, --query QUERY   register a standing query (repeatable); with
+                        several queries, output lines are 'Qi<TAB>id'
+        --ids           print matched node ids (default)
+        --fragments     print matched elements as XML fragments
+        --values        print attribute values (queries ending in /@attr)
+    -c, --count         print only the number of matches
+        --engine NAME   auto|twig|path|branch|naive|dfa|dom (default auto)
+        --filter        with -q: boolean filtering — print each matching
+                        query once and stop evaluating it (pub/sub mode)
+        --stats         print engine work counters to stderr
+        --time          print elapsed time to stderr
+    -h, --help          show this help
+
+EXIT STATUS: 0 matches found, 1 no matches, 2 error.";
+
+impl Args {
+    /// Parses arguments; `Ok(None)` means help was printed.
+    pub fn parse<I: Iterator<Item = String>>(mut argv: I) -> Result<Option<Args>, String> {
+        let mut args = Args {
+            queries: Vec::new(),
+            file: None,
+            output: OutputMode::Ids,
+            engine: EngineChoice::Auto,
+            stats: false,
+            time: false,
+            filter: false,
+        };
+        let mut positional: Vec<String> = Vec::new();
+        while let Some(arg) = argv.next() {
+            match arg.as_str() {
+                "-h" | "--help" => {
+                    println!("{HELP}");
+                    return Ok(None);
+                }
+                "-q" | "--query" => {
+                    let q = argv.next().ok_or("--query requires a value")?;
+                    args.queries.push(q);
+                }
+                "--ids" => args.output = OutputMode::Ids,
+                "--values" => args.output = OutputMode::Values,
+                "--fragments" => args.output = OutputMode::Fragments,
+                "-c" | "--count" => args.output = OutputMode::Count,
+                "--stats" => args.stats = true,
+                "--filter" => args.filter = true,
+                "--time" => args.time = true,
+                "--engine" => {
+                    let name = argv.next().ok_or("--engine requires a value")?;
+                    args.engine = match name.as_str() {
+                        "auto" => EngineChoice::Auto,
+                        "twig" => EngineChoice::Twig,
+                        "path" => EngineChoice::PathM,
+                        "branch" => EngineChoice::BranchM,
+                        "naive" => EngineChoice::Naive,
+                        "dfa" => EngineChoice::Dfa,
+                        "dom" => EngineChoice::Dom,
+                        other => {
+                            return Err(format!(
+                                "unknown engine `{other}` (auto|twig|path|branch|naive|dfa|dom)"
+                            ))
+                        }
+                    };
+                }
+                other if other.starts_with('-') && other != "-" => {
+                    return Err(format!("unknown option `{other}`"));
+                }
+                _ => positional.push(arg),
+            }
+        }
+        // Positional handling: if no -q queries, the first positional is
+        // the query; the next is the file.
+        let mut positional = positional.into_iter();
+        if args.queries.is_empty() {
+            args.queries
+                .push(positional.next().ok_or("missing QUERY argument")?);
+        }
+        args.file = positional.next();
+        if let Some(extra) = positional.next() {
+            return Err(format!("unexpected argument `{extra}`"));
+        }
+        if args.queries.len() > 1
+            && matches!(args.output, OutputMode::Fragments | OutputMode::Values)
+        {
+            return Err("--fragments/--values are not supported with multiple queries".into());
+        }
+        if args.filter && matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
+            return Err("--filter reports query names; --fragments/--values do not apply".into());
+        }
+        Ok(Some(args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Args>, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let args = parse(&["//a"]).unwrap().unwrap();
+        assert_eq!(args.queries, vec!["//a"]);
+        assert_eq!(args.file, None);
+        assert_eq!(args.output, OutputMode::Ids);
+        assert_eq!(args.engine, EngineChoice::Auto);
+    }
+
+    #[test]
+    fn query_and_file() {
+        let args = parse(&["//a", "data.xml"]).unwrap().unwrap();
+        assert_eq!(args.file.as_deref(), Some("data.xml"));
+    }
+
+    #[test]
+    fn flags_combine() {
+        let args = parse(&["-c", "--engine", "dom", "--stats", "--time", "//a", "-"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.output, OutputMode::Count);
+        assert_eq!(args.engine, EngineChoice::Dom);
+        assert!(args.stats);
+        assert!(args.time);
+        assert_eq!(args.file.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn repeated_queries() {
+        let args = parse(&["-q", "//a", "-q", "//b", "f.xml"]).unwrap().unwrap();
+        assert_eq!(args.queries.len(), 2);
+        assert_eq!(args.file.as_deref(), Some("f.xml"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--engine", "nope", "//a"]).is_err());
+        assert!(parse(&["--bogus", "//a"]).is_err());
+        assert!(parse(&["//a", "f.xml", "extra"]).is_err());
+        assert!(parse(&["-q", "//a", "-q", "//b", "--fragments"]).is_err());
+        assert!(parse(&["--query"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&["--help"]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! `twigm` — grep for XML streams.
+//!
+//! A command-line front end for the TwigM streaming XPath processor:
+//! evaluates one or more `XP{/,//,*,[]}` queries over a file or stdin in
+//! a single pass with bounded memory, printing node ids, fragments, or
+//! counts.
+//!
+//! ```text
+//! twigm '//book[@year >= 2000]/title' catalog.xml
+//! cat feed.xml | twigm --fragments '//quote[price > 100]'
+//! twigm --count --engine dom '//a[b]//c' data.xml   # cross-check a baseline
+//! twigm -q '//alert' -q '//order[total > 10]' feed.xml   # standing queries
+//! ```
+
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+mod args;
+mod run;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS, // --help
+        Err(message) => {
+            eprintln!("twigm: {message}");
+            eprintln!("try `twigm --help`");
+            return ExitCode::from(2);
+        }
+    };
+    match run_cli(&args) {
+        Ok(matches) => {
+            if matches > 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1) // grep convention: no matches
+            }
+        }
+        Err(message) => {
+            eprintln!("twigm: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &Args) -> Result<u64, String> {
+    let start = Instant::now();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let matches = if args.queries.len() > 1 || args.filter {
+        run::run_multi(args, &mut input(args)?, &mut out)?
+    } else {
+        run::run_single(args, &mut input(args)?, &mut out)?
+    };
+    out.flush().map_err(|e| e.to_string())?;
+    if args.time {
+        eprintln!("twigm: {matches} match(es) in {:.3?}", start.elapsed());
+    }
+    Ok(matches)
+}
+
+fn input(args: &Args) -> Result<Box<dyn Read>, String> {
+    match &args.file {
+        None => Ok(Box::new(std::io::stdin())),
+        Some(path) if path == "-" => Ok(Box::new(std::io::stdin())),
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            Ok(Box::new(BufReader::with_capacity(256 * 1024, file)))
+        }
+    }
+}

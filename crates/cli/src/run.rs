@@ -1,0 +1,330 @@
+//! Query execution for the CLI: engine selection, output modes, stats.
+
+use std::io::{Read, Write};
+
+use twigm::attrs::AttrCollector;
+use twigm::engine::run_engine;
+use twigm::fragments::FragmentCollector;
+use twigm::multi::MultiTwigM;
+use twigm::{BranchM, Engine, EngineStats, PathM, StreamEngine, TwigM};
+use twigm_baselines::{inmem, LazyDfa, NaiveEnum};
+use twigm_xpath::Path;
+
+use crate::args::{Args, EngineChoice, OutputMode};
+
+/// Runs a single query, prints per `args.output`, returns the match
+/// count.
+pub fn run_single(
+    args: &Args,
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    // A `|` union runs through the multi-query engine with set-union
+    // output.
+    let branches =
+        twigm_xpath::parse_union(&args.queries[0]).map_err(|e| e.to_string())?;
+    if branches.len() > 1 {
+        if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
+            return Err("union queries run on the TwigM engine only".into());
+        }
+        if matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
+            return Err("--fragments/--values are not supported for union queries".into());
+        }
+        let ids = twigm::evaluate_union(&branches, input).map_err(|e| e.to_string())?;
+        match args.output {
+            OutputMode::Count => {
+                writeln!(out, "{}", ids.len()).map_err(|e| e.to_string())?;
+            }
+            _ => {
+                for id in &ids {
+                    writeln!(out, "{id}").map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        return Ok(ids.len() as u64);
+    }
+    let query = parse_query(&args.queries[0])?;
+    if args.output == OutputMode::Values && query.attr.is_none() {
+        return Err("--values requires a query ending in `/@attr`".into());
+    }
+    let attr = query.attr.clone();
+    match args.engine {
+        EngineChoice::Dom => run_dom(args, &query, input, out),
+        EngineChoice::Auto => {
+            let engine = Engine::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+        EngineChoice::Twig => {
+            let engine = TwigM::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+        EngineChoice::PathM => {
+            if !query.is_predicate_free() {
+                return Err("--engine path requires a predicate-free query".into());
+            }
+            let engine = PathM::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+        EngineChoice::BranchM => {
+            if !query.is_branch_only() {
+                return Err("--engine branch requires an XP{/,[]} query".into());
+            }
+            let engine = BranchM::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+        EngineChoice::Naive => {
+            let engine = NaiveEnum::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+        EngineChoice::Dfa => {
+            if !query.is_predicate_free() {
+                return Err(
+                    "--engine dfa requires a predicate-free query (a DFA cannot \
+                     evaluate predicates; see the paper, §1)"
+                        .into(),
+                );
+            }
+            let engine = LazyDfa::new(&query).map_err(|e| e.to_string())?;
+            run_streaming(args, engine, attr, input, out)
+        }
+    }
+}
+
+fn run_streaming<E: StreamEngine>(
+    args: &Args,
+    engine: E,
+    attr: Option<String>,
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    let io_err = |e: std::io::Error| e.to_string();
+    match args.output {
+        OutputMode::Values => {
+            let attr = attr.expect("validated in run_single");
+            let collector = AttrCollector::new(engine, attr);
+            let (_, mut collector) =
+                run_engine(collector, input).map_err(|e| e.to_string())?;
+            let values = collector.take_values();
+            let count = values.len() as u64;
+            for (_, value) in values {
+                writeln!(out, "{value}").map_err(io_err)?;
+            }
+            print_stats(args, collector.stats());
+            Ok(count)
+        }
+        OutputMode::Fragments => {
+            let collector = FragmentCollector::new(engine);
+            let (_, mut collector) =
+                run_engine(collector, input).map_err(|e| e.to_string())?;
+            let fragments = collector.take_fragments();
+            let count = fragments.len() as u64;
+            for (_, fragment) in fragments {
+                writeln!(out, "{fragment}").map_err(io_err)?;
+            }
+            print_stats(args, collector.stats());
+            Ok(count)
+        }
+        OutputMode::Ids => {
+            let (ids, engine) = run_engine(engine, input).map_err(|e| e.to_string())?;
+            for id in &ids {
+                writeln!(out, "{id}").map_err(io_err)?;
+            }
+            print_stats(args, engine.stats());
+            Ok(ids.len() as u64)
+        }
+        OutputMode::Count => {
+            let (ids, engine) = run_engine(engine, input).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", ids.len()).map_err(io_err)?;
+            print_stats(args, engine.stats());
+            Ok(ids.len() as u64)
+        }
+    }
+}
+
+fn run_dom(
+    args: &Args,
+    query: &Path,
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    let io_err = |e: std::io::Error| e.to_string();
+    let doc = inmem::Document::parse(input).map_err(|e| e.to_string())?;
+    let ids = inmem::InMemEval::new(&doc).evaluate(query);
+    match args.output {
+        OutputMode::Count => writeln!(out, "{}", ids.len()).map_err(io_err)?,
+        OutputMode::Ids => {
+            for id in &ids {
+                writeln!(out, "{id}").map_err(io_err)?;
+            }
+        }
+        OutputMode::Fragments => {
+            return Err("--fragments is not supported with --engine dom".into())
+        }
+        OutputMode::Values => {
+            return Err("--values is not supported with --engine dom".into())
+        }
+    }
+    if args.stats {
+        eprintln!(
+            "twigm: dom: {} element(s) materialized, depth {}",
+            doc.len(),
+            doc.depth()
+        );
+    }
+    Ok(ids.len() as u64)
+}
+
+/// Runs several standing queries via [`MultiTwigM`]; output lines are
+/// `Q<i><TAB><node id>` in decision order.
+pub fn run_multi(
+    args: &Args,
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
+        return Err("multiple queries run on the TwigM engine only".into());
+    }
+    let mut engine = MultiTwigM::new();
+    if args.filter {
+        engine = engine.filter_mode();
+    }
+    for q in &args.queries {
+        let query = parse_query(q)?;
+        engine.add_query(&query).map_err(|e| e.to_string())?;
+    }
+    let results = engine.run(input).map_err(|e| e.to_string())?;
+    let count = results.len() as u64;
+    match args.output {
+        OutputMode::Count => {
+            writeln!(out, "{count}").map_err(|e| e.to_string())?;
+        }
+        _ if args.filter => {
+            for r in results {
+                writeln!(out, "Q{}", r.query).map_err(|e| e.to_string())?;
+            }
+        }
+        _ => {
+            for r in results {
+                writeln!(out, "Q{}\t{}", r.query, r.node).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    print_stats(args, engine.stats());
+    Ok(count)
+}
+
+fn parse_query(text: &str) -> Result<Path, String> {
+    twigm_xpath::parse(text).map_err(|e| e.to_string())
+}
+
+fn print_stats(args: &Args, stats: &EngineStats) {
+    if args.stats {
+        eprintln!(
+            "twigm: {} events, {} pushes, {} pops, {} probes, peak {} entries, \
+             {} candidate merges, {} result(s)",
+            stats.events(),
+            stats.pushes,
+            stats.pops,
+            stats.qualification_probes + stats.upload_probes,
+            stats.peak_entries,
+            stats.candidates_merged,
+            stats.results
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run(argv: &[&str], xml: &str) -> (String, u64) {
+        let args = Args::parse(argv.iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap();
+        let mut input = xml.as_bytes();
+        let mut out = Vec::new();
+        let count = if args.queries.len() > 1 {
+            run_multi(&args, &mut input, &mut out).unwrap()
+        } else {
+            run_single(&args, &mut input, &mut out).unwrap()
+        };
+        (String::from_utf8(out).unwrap(), count)
+    }
+
+    #[test]
+    fn ids_mode() {
+        let (out, count) = run(&["//a/b"], "<r><a><b/></a><b/></r>");
+        assert_eq!(out, "2\n");
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn count_mode() {
+        let (out, count) = run(&["-c", "//b"], "<r><a><b/></a><b/></r>");
+        assert_eq!(out, "2\n");
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn fragments_mode() {
+        let (out, _) = run(&["--fragments", "//a[b]"], "<r><a><b>x</b></a></r>");
+        assert_eq!(out, "<a><b>x</b></a>\n");
+    }
+
+    #[test]
+    fn every_engine_choice_runs() {
+        for engine in ["auto", "twig", "naive", "dom"] {
+            let (out, _) = run(&["--engine", engine, "-c", "//a[b]"], "<r><a><b/></a></r>");
+            assert_eq!(out, "1\n", "engine {engine}");
+        }
+        for engine in ["path", "dfa"] {
+            let (out, _) = run(&["--engine", engine, "-c", "//a"], "<r><a/></r>");
+            assert_eq!(out, "1\n", "engine {engine}");
+        }
+        let (out, _) = run(&["--engine", "branch", "-c", "/r/a[b]"], "<r><a><b/></a></r>");
+        assert_eq!(out, "1\n");
+    }
+
+    #[test]
+    fn engine_restrictions_are_enforced() {
+        let args = Args::parse(["--engine", "dfa", "//a[b]"].iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap();
+        let mut input = &b"<r/>"[..];
+        let mut out = Vec::new();
+        let err = run_single(&args, &mut input, &mut out).unwrap_err();
+        assert!(err.contains("predicate-free"));
+    }
+
+    #[test]
+    fn multi_query_output_is_tagged() {
+        let (out, count) = run(
+            &["-q", "//a", "-q", "//b"],
+            "<r><a/><b/></r>",
+        );
+        assert_eq!(count, 2);
+        assert!(out.contains("Q0\t1"));
+        assert!(out.contains("Q1\t2"));
+    }
+
+    #[test]
+    fn bad_query_is_an_error() {
+        let args = Args::parse(["not-a-query"].iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap();
+        let mut input = &b"<r/>"[..];
+        let mut out = Vec::new();
+        assert!(run_single(&args, &mut input, &mut out).is_err());
+    }
+
+    #[test]
+    fn malformed_xml_is_an_error() {
+        let args = Args::parse(["//a"].iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap();
+        let mut input = &b"<r>"[..];
+        let mut out = Vec::new();
+        assert!(run_single(&args, &mut input, &mut out).is_err());
+    }
+}

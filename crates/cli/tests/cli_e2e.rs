@@ -1,0 +1,171 @@
+//! End-to-end tests of the `twigm` binary: spawn the real executable,
+//! check stdout/stderr/exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn twigm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_twigm"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &[u8]) -> (String, String, i32) {
+    let mut child = twigm()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn twigm");
+    // The process may exit before reading stdin (e.g. a bad flag), so a
+    // broken pipe here is expected, not a failure.
+    let _ = child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin);
+    let output = child.wait_with_output().expect("twigm runs");
+    (
+        String::from_utf8(output.stdout).expect("utf8 stdout"),
+        String::from_utf8(output.stderr).expect("utf8 stderr"),
+        output.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn ids_from_stdin() {
+    let (out, _, code) = run_with_stdin(&["//a/b"], b"<r><a><b/></a><b/></r>");
+    assert_eq!(out, "2\n");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn count_and_fragments() {
+    let xml = b"<r><a><b>hi</b></a><a/></r>";
+    let (out, _, _) = run_with_stdin(&["--count", "//a"], xml);
+    assert_eq!(out, "2\n");
+    let (out, _, _) = run_with_stdin(&["--fragments", "//a[b]"], xml);
+    assert_eq!(out, "<a><b>hi</b></a>\n");
+}
+
+#[test]
+fn no_match_exit_code_is_one() {
+    let (out, _, code) = run_with_stdin(&["//zzz"], b"<r/>");
+    assert_eq!(out, "");
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn errors_exit_two() {
+    // Bad query.
+    let (_, err, code) = run_with_stdin(&["("], b"<r/>");
+    assert_eq!(code, 2);
+    assert!(err.contains("twigm:"));
+    // Malformed XML.
+    let (_, _, code) = run_with_stdin(&["//a"], b"<r>");
+    assert_eq!(code, 2);
+    // Missing file.
+    let (_, _, code) = run_with_stdin(&["//a", "/nonexistent/file.xml"], b"");
+    assert_eq!(code, 2);
+    // Unknown flag.
+    let (_, _, code) = run_with_stdin(&["--frobnicate", "//a"], b"");
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn file_argument() {
+    let dir = std::env::temp_dir().join(format!("twigm-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.xml");
+    std::fs::write(&path, b"<r><x/><x/><x/></r>").unwrap();
+    let (out, _, code) = run_with_stdin(&["-c", "//x", path.to_str().unwrap()], b"");
+    assert_eq!(out, "3\n");
+    assert_eq!(code, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let (out, err, _) = run_with_stdin(&["--stats", "-c", "//a"], b"<r><a/></r>");
+    assert_eq!(out, "1\n");
+    assert!(err.contains("events"));
+    assert!(err.contains("peak"));
+}
+
+#[test]
+fn multi_query_mode() {
+    let (out, _, code) = run_with_stdin(
+        &["-q", "//a", "-q", "//b[c]"],
+        b"<r><a/><b><c/></b><b/></r>",
+    );
+    assert_eq!(code, 0);
+    assert!(out.contains("Q0\t1"));
+    assert!(out.contains("Q1\t2"));
+    assert_eq!(out.lines().count(), 2);
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, code) = run_with_stdin(&["--help"], b"");
+    assert!(out.contains("USAGE"));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn dom_engine_cross_checks_twig() {
+    let xml = b"<r><a><b/><c/></a><a><b/></a></r>";
+    let (twig_out, _, _) = run_with_stdin(&["--engine", "twig", "//a[c]/b"], xml);
+    let (dom_out, _, _) = run_with_stdin(&["--engine", "dom", "//a[c]/b"], xml);
+    assert_eq!(twig_out, dom_out);
+}
+
+#[test]
+fn values_mode_prints_attribute_values() {
+    let xml = br#"<bib><book year="1999"/><book year="2006"><title/></book></bib>"#;
+    let (out, _, code) = run_with_stdin(&["--values", "//book/@year"], xml);
+    assert_eq!(out, "1999\n2006\n");
+    assert_eq!(code, 0);
+    let (out, _, _) = run_with_stdin(&["--values", "//book[title]/@year"], xml);
+    assert_eq!(out, "2006\n");
+    // --values without an attr query is an error.
+    let (_, err, code) = run_with_stdin(&["--values", "//book"], xml);
+    assert_eq!(code, 2);
+    assert!(err.contains("/@attr"));
+}
+
+#[test]
+fn union_queries_merge_results() {
+    let xml = b"<r><a/><b><c/></b><a/></r>";
+    let (out, _, code) = run_with_stdin(&["//a | //b[c]"], xml);
+    assert_eq!(out, "1\n2\n4\n");
+    assert_eq!(code, 0);
+    let (out, _, _) = run_with_stdin(&["-c", "//a | //a"], xml);
+    assert_eq!(out, "2\n", "overlapping branches deduplicate");
+    let (_, err, code) = run_with_stdin(&["--fragments", "//a | //b"], xml);
+    assert_eq!(code, 2);
+    assert!(err.contains("union"));
+}
+
+#[test]
+fn entity_declarations_flow_through() {
+    let xml = br#"<!DOCTYPE r [<!ENTITY who "world">]><r><p>hello &who;</p></r>"#;
+    let (out, _, _) = run_with_stdin(&["-c", "//p[contains(text(), 'world')]"], xml);
+    assert_eq!(out, "1\n");
+}
+
+#[test]
+fn filter_mode_reports_matching_queries_once() {
+    let xml = b"<r><a/><a/><b><c/></b></r>";
+    let (out, _, code) = run_with_stdin(&["--filter", "-q", "//a", "-q", "//b[c]", "-q", "//zzz"], xml);
+    assert_eq!(code, 0);
+    let mut lines: Vec<&str> = out.lines().collect();
+    lines.sort_unstable();
+    assert_eq!(lines, vec!["Q0", "Q1"]);
+}
+
+#[test]
+fn filter_mode_applies_to_a_single_query_too() {
+    let xml = b"<r><a/><a/><a/></r>";
+    let (out, _, code) = run_with_stdin(&["--filter", "-q", "//a"], xml);
+    assert_eq!(out, "Q0\n", "one line despite three matches");
+    assert_eq!(code, 0);
+}

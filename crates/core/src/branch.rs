@@ -1,0 +1,305 @@
+//! The BranchM machine (paper §3.2): streaming evaluation of `XP{/,[]}`
+//! — predicates, but only child axes and no wildcards.
+//!
+//! With only `/` edges, a query node can match elements at exactly one
+//! level, and at most one such element is active at a time. The per-node
+//! state therefore degenerates from TwigM's stack to a single optional
+//! `(level L, branch match B, candidates C)` record, exactly the machine
+//! of the paper's figure 3. On a satisfied end tag the node sets its
+//! β-component in the parent's branch match, uploads its candidates, and
+//! resets to `(L = -1, B = <F..F>, C = ∅)` — represented here as `None`.
+
+use twigm_sax::{Attribute, NodeId};
+use twigm_xpath::Path;
+
+use crate::engine::StreamEngine;
+use crate::machine::{Machine, MachineError, MNode};
+use crate::query::QCond;
+use crate::stats::EngineStats;
+
+#[derive(Debug, Clone)]
+struct State {
+    level: u32,
+    slots: u64,
+    candidates: Vec<u64>,
+    text: String,
+}
+
+/// The BranchM streaming engine.
+pub struct BranchM {
+    machine: Machine,
+    /// Per machine node: the single active match, if any.
+    states: Vec<Option<State>>,
+    depth: u32,
+    results: Vec<NodeId>,
+    stats: EngineStats,
+    live_entries: u64,
+    live_candidates: u64,
+}
+
+impl BranchM {
+    /// Compiles an `XP{/,[]}` query.
+    pub fn new(query: &Path) -> Result<Self, MachineError> {
+        debug_assert!(
+            query.is_branch_only(),
+            "BranchM evaluates XP{{/,[]}}; use TwigM for `//` or `*`"
+        );
+        let machine = Machine::from_path(query)?;
+        let states = vec![None; machine.len()];
+        Ok(BranchM {
+            machine,
+            states,
+            depth: 0,
+            results: Vec::new(),
+            stats: EngineStats::default(),
+            live_entries: 0,
+            live_candidates: 0,
+        })
+    }
+
+    /// The compiled machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn initial_slots(node: &MNode, attrs: &[Attribute<'_>]) -> u64 {
+        let mut slots = 0u64;
+        for &i in &node.start_conds {
+            let ok = match &node.conditions[i] {
+                QCond::AttrExists(name) => attrs.iter().any(|a| a.name == name),
+                QCond::AttrCmp(name, op, lit) => attrs
+                    .iter()
+                    .any(|a| a.name == name && op.eval(&a.value, lit)),
+                QCond::AttrFn(name, func, arg) => attrs
+                    .iter()
+                    .any(|a| a.name == name && func.eval(&a.value, arg)),
+                _ => unreachable!("start_conds holds only attribute conditions"),
+            };
+            if ok {
+                slots |= 1 << i;
+            }
+        }
+        slots
+    }
+}
+
+impl StreamEngine for BranchM {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.stats.start_events += 1;
+        self.depth = level;
+        let mut became_candidate = false;
+        for v in 0..self.machine.len() {
+            let node = &self.machine.nodes[v];
+            if !node.name.matches(tag) {
+                continue;
+            }
+            self.stats.qualification_probes += 1;
+            let qualified = match node.parent {
+                None => node.edge.test(level as i64),
+                Some(p) => self.states[p]
+                    .as_ref()
+                    .is_some_and(|s| node.edge.test(level as i64 - s.level as i64)),
+            };
+            if !qualified {
+                continue;
+            }
+            let slots = Self::initial_slots(node, attrs);
+            let mut candidates = Vec::new();
+            if node.is_sol {
+                candidates.push(id.get());
+                became_candidate = true;
+                self.live_candidates += 1;
+            }
+            debug_assert!(
+                self.states[v].is_none(),
+                "XP{{/,[]}} admits one active match per query node"
+            );
+            self.states[v] = Some(State {
+                level,
+                slots,
+                candidates,
+                text: String::new(),
+            });
+            self.stats.pushes += 1;
+            self.live_entries += 1;
+        }
+        self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
+        self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+        became_candidate
+    }
+
+    fn text(&mut self, text: &str) {
+        for &v in self.machine.text_nodes() {
+            if let Some(state) = self.states[v].as_mut() {
+                if state.level == self.depth {
+                    state.text.push_str(text);
+                }
+            }
+        }
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.stats.end_events += 1;
+        self.depth = level.saturating_sub(1);
+        for v in 0..self.machine.len() {
+            let node = &self.machine.nodes[v];
+            if !node.name.matches(tag) {
+                continue;
+            }
+            let matches_level = self.states[v].as_ref().is_some_and(|s| s.level == level);
+            if !matches_level {
+                continue;
+            }
+            let mut state = self.states[v].take().expect("checked above");
+            self.stats.pops += 1;
+            self.live_entries -= 1;
+            self.live_candidates -= state.candidates.len() as u64;
+            for &i in &node.text_conds {
+                let ok = match &node.conditions[i] {
+                    QCond::TextExists => !state.text.is_empty(),
+                    // Comparisons over an empty node-set are false in
+                    // XPath, even for `!=`.
+                    QCond::TextCmp(op, lit) => {
+                        !state.text.is_empty() && op.eval(&state.text, lit)
+                    }
+                    QCond::TextFn(func, arg) => {
+                        !state.text.is_empty() && func.eval(&state.text, arg)
+                    }
+                    _ => unreachable!("text_conds holds only text conditions"),
+                };
+                if ok {
+                    state.slots |= 1 << i;
+                }
+            }
+            if !node.formula.eval(state.slots) {
+                continue;
+            }
+            match node.parent {
+                None => {
+                    for id in state.candidates {
+                        self.results.push(NodeId::new(id));
+                        self.stats.results += 1;
+                    }
+                }
+                Some(p) => {
+                    self.stats.upload_probes += 1;
+                    if let Some(parent) = self.states[p].as_mut() {
+                        parent.slots |= 1 << node.parent_slot.expect("non-root has a slot");
+                        self.live_candidates += state.candidates.len() as u64;
+                        self.stats.candidates_merged += state.candidates.len() as u64;
+                        // The spine is a chain in XP{/,[]}, so the same id
+                        // can never arrive twice: plain append keeps the
+                        // set sorted and duplicate-free.
+                        parent.candidates.extend(state.candidates);
+                    }
+                }
+            }
+        }
+        self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_engine;
+    use twigm_xpath::parse;
+
+    fn run(query: &str, xml: &str) -> Vec<u64> {
+        let engine = BranchM::new(&parse(query).unwrap()).unwrap();
+        let (ids, _) = run_engine(engine, xml.as_bytes()).unwrap();
+        ids.into_iter().map(NodeId::get).collect()
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // Q3 = /a[d]/b[e]/c over figure 3(a): a1(b1(c1, e1), d1).
+        let xml = "<a><b><c/><e/></b><d/></a>";
+        assert_eq!(run("/a[d]/b[e]/c", xml), vec![2]);
+    }
+
+    #[test]
+    fn unsatisfied_predicate_discards_candidates() {
+        let xml = "<a><b><c/></b><d/></a>"; // no e
+        assert!(run("/a[d]/b[e]/c", xml).is_empty());
+        let xml = "<a><b><c/><e/></b></a>"; // no d
+        assert!(run("/a[d]/b[e]/c", xml).is_empty());
+    }
+
+    #[test]
+    fn predicate_found_after_candidate() {
+        // e1 closes after c1 is seen: candidate must wait, then resolve.
+        let xml = "<a><b><c/><e/></b></a>";
+        assert_eq!(run("/a/b[e]/c", xml), vec![2]);
+    }
+
+    #[test]
+    fn repeated_siblings_reset_state() {
+        // Two b's under a: only the one with e contributes.
+        let xml = "<a><b><c/></b><b><c/><e/></b></a>";
+        assert_eq!(run("/a/b[e]/c", xml), vec![4]);
+    }
+
+    #[test]
+    fn attribute_and_text_predicates() {
+        let xml = r#"<a><b id="7"><c>x</c></b></a>"#;
+        assert_eq!(run("/a/b[@id = '7']/c", xml).len(), 1);
+        assert_eq!(run("/a/b[@id = '8']/c", xml).len(), 0);
+        assert_eq!(run("/a/b/c[text() = 'x']", xml).len(), 1);
+        assert_eq!(run("/a/b[c = 'x']/c", xml).len(), 1);
+    }
+
+    #[test]
+    fn multiple_candidates_accumulate() {
+        let xml = "<a><b><c/><c/><e/></b></a>";
+        assert_eq!(run("/a/b[e]/c", xml).len(), 2);
+    }
+
+    #[test]
+    fn root_query_returns_root() {
+        assert_eq!(run("/a[b]", "<a><b/></a>"), vec![0]);
+        assert!(run("/a[b]", "<a><c/></a>").is_empty());
+    }
+
+    #[test]
+    fn memory_is_one_state_per_node() {
+        let engine = BranchM::new(&parse("/a[d]/b[e]/c").unwrap()).unwrap();
+        let xml = "<a><b><c/><e/></b><d/></a>";
+        let (_, engine) = run_engine(engine, xml.as_bytes()).unwrap();
+        // Peak live entries <= |Q| = 5.
+        assert!(engine.stats().peak_entries <= 5);
+    }
+}
+
+#[cfg(test)]
+mod attr_return_tests {
+    use super::*;
+    use crate::engine::run_engine;
+    use twigm_xpath::parse;
+
+    #[test]
+    fn attribute_return_paths_route_through_branchm() {
+        let q = parse("/a/b/@id").unwrap();
+        assert!(q.is_branch_only(), "attr paths stay in XP{{/,[]}}");
+        let engine = BranchM::new(&q).unwrap();
+        let xml = br#"<a><b id="x"/><b/></a>"#;
+        let (ids, _) = run_engine(engine, &xml[..]).unwrap();
+        // Only the b with the attribute matches.
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].get(), 1);
+    }
+}

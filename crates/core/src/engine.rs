@@ -1,0 +1,405 @@
+//! The common streaming-engine interface and the auto-selecting driver.
+
+use std::fmt;
+use std::io::Read;
+
+use twigm_sax::{Attribute, NodeId, SaxError, SaxHandler, SaxReader};
+use twigm_xpath::Path;
+
+use crate::branch::BranchM;
+use crate::machine::MachineError;
+use crate::path::PathM;
+use crate::stats::EngineStats;
+use crate::twig::TwigM;
+
+/// A streaming XPath evaluator driven by the paper's modified SAX events.
+///
+/// Implementations receive `startElement(tag, level, id)`,
+/// `endElement(tag, level)` and character data in document order, and
+/// accumulate the ids of return-node matches, which the caller drains
+/// with [`StreamEngine::take_results`] (possibly incrementally, after any
+/// event).
+pub trait StreamEngine {
+    /// Processes a start tag. Returns `true` when the element was pushed
+    /// onto the return node's stack (i.e. it became a solution candidate)
+    /// — used by the fragment collector to know what to record.
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool;
+
+    /// Processes character data (may arrive in chunks).
+    fn text(&mut self, _text: &str) {}
+
+    /// Processes an end tag.
+    fn end_element(&mut self, tag: &str, level: u32);
+
+    /// Drains the results decided so far, in decision order.
+    fn take_results(&mut self) -> Vec<NodeId>;
+
+    /// Work / memory counters.
+    fn stats(&self) -> &EngineStats;
+}
+
+impl<E: StreamEngine + ?Sized> StreamEngine for &mut E {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        (**self).start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        (**self).text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        (**self).end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        (**self).take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        (**self).stats()
+    }
+}
+
+impl<E: StreamEngine + ?Sized> StreamEngine for Box<E> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        (**self).start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        (**self).text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        (**self).end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        (**self).take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        (**self).stats()
+    }
+}
+
+/// An error from end-to-end evaluation.
+#[derive(Debug)]
+pub enum EvalError {
+    /// The XML stream was malformed.
+    Sax(SaxError),
+    /// The query could not be compiled.
+    Machine(MachineError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Sax(e) => write!(f, "XML error: {e}"),
+            EvalError::Machine(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Sax(e) => Some(e),
+            EvalError::Machine(e) => Some(e),
+        }
+    }
+}
+
+impl From<SaxError> for EvalError {
+    fn from(e: SaxError) -> Self {
+        EvalError::Sax(e)
+    }
+}
+
+impl From<MachineError> for EvalError {
+    fn from(e: MachineError) -> Self {
+        EvalError::Machine(e)
+    }
+}
+
+/// An engine that picks the cheapest machine for the query (paper §3):
+/// [`PathM`] for `XP{/,//,*}`, [`BranchM`] for `XP{/,[]}`, and [`TwigM`]
+/// for the full language.
+pub enum Engine {
+    /// Predicate-free query.
+    Path(PathM),
+    /// Child-axis-only query with predicates.
+    Branch(BranchM),
+    /// The general machine.
+    Twig(TwigM),
+}
+
+impl Engine {
+    /// Compiles `query`, selecting the machine by the query's class.
+    pub fn new(query: &Path) -> Result<Engine, MachineError> {
+        if query.is_predicate_free() {
+            Ok(Engine::Path(PathM::new(query)?))
+        } else if query.is_branch_only() {
+            Ok(Engine::Branch(BranchM::new(query)?))
+        } else {
+            Ok(Engine::Twig(TwigM::new(query)?))
+        }
+    }
+
+    /// Which machine was selected, as a display string.
+    pub fn machine_name(&self) -> &'static str {
+        match self {
+            Engine::Path(_) => "PathM",
+            Engine::Branch(_) => "BranchM",
+            Engine::Twig(_) => "TwigM",
+        }
+    }
+}
+
+impl StreamEngine for Engine {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        match self {
+            Engine::Path(e) => e.start_element(tag, attrs, level, id),
+            Engine::Branch(e) => e.start_element(tag, attrs, level, id),
+            Engine::Twig(e) => e.start_element(tag, attrs, level, id),
+        }
+    }
+
+    fn text(&mut self, text: &str) {
+        match self {
+            Engine::Path(e) => e.text(text),
+            Engine::Branch(e) => e.text(text),
+            Engine::Twig(e) => e.text(text),
+        }
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        match self {
+            Engine::Path(e) => e.end_element(tag, level),
+            Engine::Branch(e) => e.end_element(tag, level),
+            Engine::Twig(e) => e.end_element(tag, level),
+        }
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        match self {
+            Engine::Path(e) => e.take_results(),
+            Engine::Branch(e) => e.take_results(),
+            Engine::Twig(e) => e.take_results(),
+        }
+    }
+
+    fn stats(&self) -> &EngineStats {
+        match self {
+            Engine::Path(e) => e.stats(),
+            Engine::Branch(e) => e.stats(),
+            Engine::Twig(e) => e.stats(),
+        }
+    }
+}
+
+/// Adapter that drives any [`StreamEngine`] from SAX callbacks.
+pub struct EngineHandler<E> {
+    engine: E,
+}
+
+impl<E: StreamEngine> EngineHandler<E> {
+    /// Wraps an engine.
+    pub fn new(engine: E) -> Self {
+        EngineHandler { engine }
+    }
+
+    /// Unwraps the engine.
+    pub fn into_inner(self) -> E {
+        self.engine
+    }
+
+    /// Access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+}
+
+impl<E: StreamEngine> SaxHandler for EngineHandler<E> {
+    fn start_element(&mut self, name: &str, attrs: &[Attribute<'_>], level: u32, id: NodeId) {
+        self.engine.start_element(name, attrs, level, id);
+    }
+
+    fn end_element(&mut self, name: &str, level: u32) {
+        self.engine.end_element(name, level);
+    }
+
+    fn text(&mut self, text: &str) {
+        self.engine.text(text);
+    }
+}
+
+/// Runs `engine` over a complete XML stream and returns its results.
+pub fn run_engine<E: StreamEngine, R: Read>(
+    mut engine: E,
+    src: R,
+) -> Result<(Vec<NodeId>, E), SaxError> {
+    let mut reader = SaxReader::new(src);
+    while let Some(event) = reader.next_event()? {
+        match event {
+            twigm_sax::Event::Start(tag) => {
+                let mut attrs: Vec<Attribute<'_>> = Vec::new();
+                for a in tag.attributes() {
+                    attrs.push(a?);
+                }
+                engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+            }
+            twigm_sax::Event::End(tag) => engine.end_element(tag.name(), tag.level()),
+            twigm_sax::Event::Text(t) => engine.text(&t),
+            _ => {}
+        }
+    }
+    let results = engine.take_results();
+    Ok((results, engine))
+}
+
+/// One-call evaluation: compiles `query`, streams `src` through the
+/// best-fitting machine, and returns the matched node ids in decision
+/// order.
+pub fn evaluate<R: Read>(query: &Path, src: R) -> Result<Vec<NodeId>, EvalError> {
+    let engine = Engine::new(query)?;
+    let (results, _) = run_engine(engine, src)?;
+    Ok(results)
+}
+
+/// Evaluates a union of queries (`//a | //b[c]`) in a single pass via
+/// the multi-query engine, returning the set union of the branch
+/// results sorted in document order.
+///
+/// ```
+/// let branches = twigm_xpath::parse_union("//a | //b[c]").unwrap();
+/// let xml = b"<r><a/><b><c/></b><b/></r>";
+/// let ids = twigm::evaluate_union(&branches, &xml[..]).unwrap();
+/// assert_eq!(ids.len(), 2);
+/// ```
+pub fn evaluate_union<R: Read>(
+    branches: &[Path],
+    src: R,
+) -> Result<Vec<NodeId>, EvalError> {
+    let mut engine = crate::multi::MultiTwigM::new();
+    for branch in branches {
+        engine.add_query(branch)?;
+    }
+    let results = engine.run(src)?;
+    let mut ids: Vec<u64> = results.into_iter().map(|r| r.node.get()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids.into_iter().map(NodeId::new).collect())
+}
+
+/// Like [`evaluate`], but returns ids in **document order**.
+///
+/// TwigM decides results as predicates resolve, which is not document
+/// order in general (an inner match can be decided before an outer,
+/// earlier one). Pre-order ids order exactly by document position, so a
+/// sort restores it. This necessarily buffers the id list — callers who
+/// need bounded-memory streaming should consume decision order instead.
+pub fn evaluate_ordered<R: Read>(query: &Path, src: R) -> Result<Vec<NodeId>, EvalError> {
+    let mut ids = evaluate(query, src)?;
+    ids.sort_unstable_by_key(|id| id.get());
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    #[test]
+    fn engine_selects_the_cheapest_machine() {
+        let q = parse("//a//b").unwrap();
+        assert_eq!(Engine::new(&q).unwrap().machine_name(), "PathM");
+        let q = parse("/a[b]/c").unwrap();
+        assert_eq!(Engine::new(&q).unwrap().machine_name(), "BranchM");
+        let q = parse("//a[b]/c").unwrap();
+        assert_eq!(Engine::new(&q).unwrap().machine_name(), "TwigM");
+        let q = parse("/a/*[b]").unwrap();
+        assert_eq!(Engine::new(&q).unwrap().machine_name(), "TwigM");
+    }
+
+    #[test]
+    fn evaluate_end_to_end() {
+        let xml = b"<r><a><b/></a><a/></r>" as &[u8];
+        let q = parse("//a/b").unwrap();
+        let ids = evaluate(&q, xml).unwrap();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].get(), 2);
+    }
+
+    #[test]
+    fn evaluate_surfaces_sax_errors() {
+        let q = parse("//a").unwrap();
+        assert!(matches!(
+            evaluate(&q, b"<r>" as &[u8]),
+            Err(EvalError::Sax(_))
+        ));
+    }
+
+    #[test]
+    fn eval_error_display() {
+        let e = EvalError::Sax(SaxError::UnexpectedEof { open_element: None });
+        assert!(e.to_string().contains("XML error"));
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    #[test]
+    fn evaluate_ordered_sorts_decision_order_results() {
+        // Text predicates are only decidable at end tags, so here the
+        // inner (later-id) match is decided before the outer one;
+        // evaluate_ordered restores document order.
+        let xml = b"<r><a>v<a>v</a></a></r>" as &[u8];
+        let q = parse("//a[text() = 'v']").unwrap();
+        let decision = evaluate(&q, xml).unwrap();
+        let ordered = evaluate_ordered(&q, xml).unwrap();
+        assert_eq!(decision.len(), 2);
+        assert_eq!(
+            ordered.iter().map(|id| id.get()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Decision order here is inner-first (</a> of the inner element
+        // arrives first).
+        assert_eq!(decision[0].get(), 2);
+    }
+
+    #[test]
+    fn evaluate_union_deduplicates_and_orders() {
+        let xml = b"<r><a/><b/><a/></r>" as &[u8];
+        let branches = twigm_xpath::parse_union("//a | /r/a | //b").unwrap();
+        assert_eq!(branches.len(), 3);
+        let ids = evaluate_union(&branches, xml).unwrap();
+        assert_eq!(ids.iter().map(|id| id.get()).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,522 @@
+//! Lowering from the XPath AST to the paper's query tree
+//! `Q(V, Σ, η, ρ, root, ζ, sol)` (Definition 4.1), generalized with
+//! per-node predicate *formulas* so that value tests and `and`/`or`
+//! connectives fit the same branch-match machinery.
+//!
+//! Every location step — on the main path (the *spine*) and inside
+//! predicates — becomes a query node. A node carries a list of
+//! *conditions* (its branch-match slots): subtree matches for each child
+//! query node, attribute tests, and text tests. Its *formula* is a
+//! monotone boolean combination of those slots that must evaluate to true
+//! for the node to be a match. For the plain conjunctive queries of the
+//! paper the formula is simply the AND of all slots — exactly the "branch
+//! match is all T" test of Algorithm 1.
+
+use std::fmt;
+
+use twigm_xpath::{Axis, CmpOp, Literal, NameTest, Path, PredExpr, Step, StrFunc, Value};
+
+/// Index of a node within a [`QueryTree`].
+pub type QNodeId = usize;
+
+/// A condition (branch-match slot) of a query node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QCond {
+    /// The subtree rooted at the given child query node has a match.
+    Child(QNodeId),
+    /// The matched element has the attribute.
+    AttrExists(String),
+    /// The matched element has the attribute and its value satisfies the
+    /// comparison.
+    AttrCmp(String, CmpOp, Literal),
+    /// The matched element has non-empty text content.
+    TextExists,
+    /// The element's text content satisfies the comparison.
+    TextCmp(CmpOp, Literal),
+    /// The attribute's value satisfies the string function.
+    AttrFn(String, StrFunc, String),
+    /// The element's text content satisfies the string function.
+    TextFn(StrFunc, String),
+    /// The element is the n-th sibling matching its step (1-based;
+    /// child-axis steps only — enforced at machine construction).
+    Position(u32),
+    /// The number of matches of the child query node satisfies the
+    /// comparison (`count(b) >= 2`).
+    CountChild(QNodeId, CmpOp, u32),
+}
+
+/// What a predicate value's terminal selects, for lowering.
+enum Terminal<'a> {
+    Exists,
+    Cmp(CmpOp, &'a Literal),
+    Fn(StrFunc, &'a str),
+}
+
+/// A boolean formula over a node's condition slots.
+///
+/// Slots flip monotonically from false to true while an element is
+/// active, and the formula is only evaluated at the element's end tag,
+/// when every slot is final — which is what makes `Not` sound in a
+/// streaming setting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QFormula {
+    /// Always satisfied (leaf node without predicates).
+    True,
+    /// The given slot must be set.
+    Slot(usize),
+    /// The inner formula must not hold.
+    Not(Box<QFormula>),
+    /// Both sides must hold.
+    And(Box<QFormula>, Box<QFormula>),
+    /// Either side must hold.
+    Or(Box<QFormula>, Box<QFormula>),
+}
+
+impl QFormula {
+    /// Evaluates the formula over a slot bitset.
+    pub fn eval(&self, slots: u64) -> bool {
+        match self {
+            QFormula::True => true,
+            QFormula::Slot(i) => slots & (1 << i) != 0,
+            QFormula::Not(inner) => !inner.eval(slots),
+            QFormula::And(a, b) => a.eval(slots) && b.eval(slots),
+            QFormula::Or(a, b) => a.eval(slots) || b.eval(slots),
+        }
+    }
+
+    fn and(self, other: QFormula) -> QFormula {
+        match (self, other) {
+            (QFormula::True, f) | (f, QFormula::True) => f,
+            (a, b) => QFormula::And(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+/// One node of the query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QNode {
+    /// The name test (`η`): a tag or `*`.
+    pub name: NameTest,
+    /// The axis of the incoming edge (`ζ`); the root's edge connects it to
+    /// the (virtual) document root.
+    pub axis: Axis,
+    /// The parent node (`ρ`), `None` for the root.
+    pub parent: Option<QNodeId>,
+    /// All child query nodes: predicate-path heads plus the spine child.
+    pub children: Vec<QNodeId>,
+    /// The child on the main path towards `sol`, if this node is on the
+    /// spine and is not `sol` itself.
+    pub spine_child: Option<QNodeId>,
+    /// The branch-match slots.
+    pub conditions: Vec<QCond>,
+    /// The predicate formula over `conditions`.
+    pub formula: QFormula,
+}
+
+impl QNode {
+    /// True if any condition requires the element's text content.
+    pub fn needs_text(&self) -> bool {
+        self.conditions
+            .iter()
+            .any(|c| matches!(c, QCond::TextExists | QCond::TextCmp(..) | QCond::TextFn(..)))
+    }
+}
+
+/// The lowered query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTree {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<QNode>,
+    /// The root node id (always 0).
+    pub root: QNodeId,
+    /// The return node (`sol`).
+    pub sol: QNodeId,
+}
+
+impl QueryTree {
+    /// Lowers a parsed query.
+    pub fn from_path(path: &Path) -> QueryTree {
+        let mut tree = QueryTree {
+            nodes: Vec::new(),
+            root: 0,
+            sol: 0,
+        };
+        let mut parent: Option<QNodeId> = None;
+        for step in &path.steps {
+            let id = tree.add_step_node(step, parent);
+            if let Some(p) = parent {
+                // The spine child participates in the parent's branch
+                // match (figure 4: node a's array covers children d AND b).
+                let slot = tree.add_child_slot(p, id);
+                tree.nodes[p].spine_child = Some(id);
+                let formula = std::mem::replace(&mut tree.nodes[p].formula, QFormula::True);
+                tree.nodes[p].formula = formula.and(QFormula::Slot(slot));
+            }
+            parent = Some(id);
+        }
+        tree.sol = parent.expect("paths have at least one step");
+        // A trailing `/@attr` selector: the return node must carry the
+        // attribute (evaluated at its start tag like any attribute
+        // condition).
+        if let Some(attr) = &path.attr {
+            let slot = tree.add_cond(tree.sol, QCond::AttrExists(attr.clone()));
+            let formula = std::mem::replace(&mut tree.nodes[tree.sol].formula, QFormula::True);
+            tree.nodes[tree.sol].formula = formula.and(QFormula::Slot(slot));
+        }
+        tree
+    }
+
+    /// The number of query nodes, the paper's `|Q|`.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum number of condition slots on any node — the paper's `B`
+    /// (query branching factor).
+    pub fn max_branching(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.conditions.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Creates a node for a location step, lowering its predicates.
+    fn add_step_node(&mut self, step: &Step, parent: Option<QNodeId>) -> QNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(QNode {
+            name: step.test.clone(),
+            axis: step.axis,
+            parent,
+            children: Vec::new(),
+            spine_child: None,
+            conditions: Vec::new(),
+            formula: QFormula::True,
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(id);
+        }
+        for pred in &step.predicates {
+            let f = self.lower_pred(pred, id);
+            let formula = std::mem::replace(&mut self.nodes[id].formula, QFormula::True);
+            self.nodes[id].formula = formula.and(f);
+        }
+        id
+    }
+
+    fn add_child_slot(&mut self, node: QNodeId, child: QNodeId) -> usize {
+        self.nodes[node].conditions.push(QCond::Child(child));
+        self.nodes[node].conditions.len() - 1
+    }
+
+    fn add_cond(&mut self, node: QNodeId, cond: QCond) -> usize {
+        self.nodes[node].conditions.push(cond);
+        self.nodes[node].conditions.len() - 1
+    }
+
+    /// Lowers one predicate expression in the context of `owner`,
+    /// returning the formula fragment to AND into the owner.
+    fn lower_pred(&mut self, expr: &PredExpr, owner: QNodeId) -> QFormula {
+        match expr {
+            PredExpr::And(a, b) => {
+                let fa = self.lower_pred(a, owner);
+                let fb = self.lower_pred(b, owner);
+                QFormula::And(Box::new(fa), Box::new(fb))
+            }
+            PredExpr::Or(a, b) => {
+                let fa = self.lower_pred(a, owner);
+                let fb = self.lower_pred(b, owner);
+                QFormula::Or(Box::new(fa), Box::new(fb))
+            }
+            PredExpr::Exists(value) => self.lower_value(value, owner, Terminal::Exists),
+            PredExpr::Compare(value, op, lit) => {
+                self.lower_value(value, owner, Terminal::Cmp(*op, lit))
+            }
+            PredExpr::StrFn(func, value, arg) => {
+                self.lower_value(value, owner, Terminal::Fn(*func, arg))
+            }
+            PredExpr::Position(n) => {
+                let slot = self.add_cond(owner, QCond::Position(*n));
+                QFormula::Slot(slot)
+            }
+            PredExpr::Not(inner) => {
+                let f = self.lower_pred(inner, owner);
+                QFormula::Not(Box::new(f))
+            }
+            PredExpr::CountCmp(value, op, n) => {
+                // Parser guarantees a single element step.
+                let step = &value.steps[0];
+                let child = self.add_step_node(step, Some(owner));
+                let slot = self.add_cond(owner, QCond::CountChild(child, *op, *n));
+                QFormula::Slot(slot)
+            }
+        }
+    }
+
+    /// Lowers a predicate value. For a relative path this builds a chain
+    /// of query nodes below `owner`; the terminal attribute/text selector
+    /// (and the comparison, if any) becomes a condition on the last node
+    /// of the chain — or on `owner` itself for `[@a]` / `[text()]`.
+    fn lower_value(&mut self, value: &Value, owner: QNodeId, terminal: Terminal<'_>) -> QFormula {
+        // Build the chain of path nodes.
+        let mut last = owner;
+        let mut head_slot = None;
+        for step in &value.steps {
+            let id = self.add_step_node(step, Some(last));
+            let slot = self.add_child_slot(last, id);
+            if last == owner {
+                head_slot = Some(slot);
+            } else {
+                // The chain node requires its continuation to match.
+                let formula = std::mem::replace(&mut self.nodes[last].formula, QFormula::True);
+                self.nodes[last].formula = formula.and(QFormula::Slot(slot));
+            }
+            last = id;
+        }
+        // The terminal condition.
+        let terminal = if let Some(attr) = &value.attr {
+            Some(match terminal {
+                Terminal::Exists => QCond::AttrExists(attr.clone()),
+                Terminal::Cmp(op, lit) => QCond::AttrCmp(attr.clone(), op, lit.clone()),
+                Terminal::Fn(func, arg) => {
+                    QCond::AttrFn(attr.clone(), func, arg.to_string())
+                }
+            })
+        } else if value.text {
+            Some(match terminal {
+                Terminal::Exists => QCond::TextExists,
+                Terminal::Cmp(op, lit) => QCond::TextCmp(op, lit.clone()),
+                Terminal::Fn(func, arg) => QCond::TextFn(func, arg.to_string()),
+            })
+        } else {
+            // A bare element path: `[b]` is existence; `[b = 'x']`
+            // compares b's text content (XPath string-value semantics on
+            // direct text, see crate docs); `contains(b, 'x')` tests it.
+            match terminal {
+                Terminal::Exists => None,
+                Terminal::Cmp(op, lit) => Some(QCond::TextCmp(op, lit.clone())),
+                Terminal::Fn(func, arg) => Some(QCond::TextFn(func, arg.to_string())),
+            }
+        };
+        if let Some(cond) = terminal {
+            let slot = self.add_cond(last, cond);
+            if last == owner {
+                // `[@a]` / `[text() = 'x']` on the owner itself.
+                return QFormula::Slot(slot);
+            }
+            let formula = std::mem::replace(&mut self.nodes[last].formula, QFormula::True);
+            self.nodes[last].formula = formula.and(QFormula::Slot(slot));
+        }
+        QFormula::Slot(head_slot.expect("non-empty path or owner terminal"))
+    }
+}
+
+impl fmt::Display for QueryTree {
+    /// Renders the tree in an indented debugging form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn render(
+            tree: &QueryTree,
+            id: QNodeId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let node = &tree.nodes[id];
+            let marker = if id == tree.sol { " <- sol" } else { "" };
+            writeln!(
+                f,
+                "{:indent$}{}{} [{} conds]{}",
+                "",
+                node.axis,
+                node.name,
+                node.conditions.len(),
+                marker,
+                indent = depth * 2
+            )?;
+            for &child in &node.children {
+                render(tree, child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        render(self, self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    fn lower(q: &str) -> QueryTree {
+        QueryTree::from_path(&parse(q).unwrap())
+    }
+
+    #[test]
+    fn paper_q1_has_five_nodes() {
+        // //a[d]//b[e]//c — figure 1(b): nodes a, b, c, d, e.
+        let tree = lower("//a[d]//b[e]//c");
+        assert_eq!(tree.size(), 5);
+        assert_eq!(tree.root, 0);
+        let a = &tree.nodes[0];
+        assert_eq!(a.name, NameTest::Tag("a".into()));
+        // a has two conditions: child d (predicate) and child b (spine) —
+        // the branch-match array <F, F> of figure 4.
+        assert_eq!(a.conditions.len(), 2);
+        assert_eq!(a.children.len(), 2);
+        assert!(a.spine_child.is_some());
+        // sol is c, a leaf with no conditions.
+        let c = &tree.nodes[tree.sol];
+        assert_eq!(c.name, NameTest::Tag("c".into()));
+        assert!(c.conditions.is_empty());
+        assert_eq!(c.formula, QFormula::True);
+    }
+
+    #[test]
+    fn spine_child_participates_in_formula() {
+        let tree = lower("//a[d]/b");
+        let a = &tree.nodes[0];
+        // Both slots (d and b) must be set.
+        assert!(!a.formula.eval(0b00));
+        assert!(!a.formula.eval(0b01));
+        assert!(!a.formula.eval(0b10));
+        assert!(a.formula.eval(0b11));
+    }
+
+    #[test]
+    fn attribute_predicates_become_conditions_on_owner() {
+        let tree = lower("//a[@id]/b");
+        let a = &tree.nodes[0];
+        assert_eq!(a.conditions.len(), 2); // @id + spine b
+        assert!(matches!(&a.conditions[0], QCond::AttrExists(n) if n == "id"));
+        // Only one child node (b).
+        assert_eq!(a.children.len(), 1);
+    }
+
+    #[test]
+    fn attr_comparison_lowering() {
+        let tree = lower("//a[@year >= 2000]");
+        match &tree.nodes[0].conditions[0] {
+            QCond::AttrCmp(name, CmpOp::Ge, Literal::Number(n)) => {
+                assert_eq!(name, "year");
+                assert_eq!(*n, 2000.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn element_value_comparison_targets_chain_end() {
+        // [price <= 10]: a child node `price` whose TEXT satisfies <=.
+        let tree = lower("//item[price <= 10]");
+        assert_eq!(tree.size(), 2);
+        let price = &tree.nodes[1];
+        assert_eq!(price.name, NameTest::Tag("price".into()));
+        assert!(matches!(price.conditions[0], QCond::TextCmp(CmpOp::Le, _)));
+        assert!(price.needs_text());
+        // price's formula requires the text slot.
+        assert!(!price.formula.eval(0));
+        assert!(price.formula.eval(1));
+    }
+
+    #[test]
+    fn deep_value_paths_chain_properly() {
+        // [b//c/@id = 'x'] — owner → b → c, with AttrCmp on c.
+        let tree = lower("//a[b//c/@id = 'x']");
+        assert_eq!(tree.size(), 3);
+        let b = &tree.nodes[1];
+        assert_eq!(b.axis, Axis::Child);
+        let c = &tree.nodes[2];
+        assert_eq!(c.axis, Axis::Descendant);
+        assert!(matches!(&c.conditions[0], QCond::AttrCmp(n, CmpOp::Eq, _) if n == "id"));
+        // b requires c's subtree.
+        assert!(matches!(&b.conditions[0], QCond::Child(2)));
+        assert!(!b.formula.eval(0));
+        assert!(b.formula.eval(1));
+    }
+
+    #[test]
+    fn or_formulas_evaluate_correctly() {
+        let tree = lower("//a[b or c]/d");
+        let a = &tree.nodes[0];
+        // slots: 0 = child b, 1 = child c, 2 = spine d.
+        assert_eq!(a.conditions.len(), 3);
+        assert!(!a.formula.eval(0b000));
+        assert!(!a.formula.eval(0b001)); // b only, spine missing
+        assert!(a.formula.eval(0b101)); // b + spine
+        assert!(a.formula.eval(0b110)); // c + spine
+        assert!(!a.formula.eval(0b100)); // spine only
+    }
+
+    #[test]
+    fn and_inside_predicate_requires_both() {
+        let tree = lower("//a[b and @x]");
+        let a = &tree.nodes[0];
+        assert_eq!(a.conditions.len(), 2);
+        assert!(!a.formula.eval(0b01));
+        assert!(!a.formula.eval(0b10));
+        assert!(a.formula.eval(0b11));
+    }
+
+    #[test]
+    fn nested_predicates_recurse() {
+        let tree = lower("//a[b[c]]");
+        assert_eq!(tree.size(), 3);
+        let b = &tree.nodes[1];
+        assert_eq!(b.children.len(), 1);
+        assert!(matches!(b.conditions[0], QCond::Child(2)));
+        assert!(!b.formula.eval(0));
+        assert!(b.formula.eval(1));
+    }
+
+    #[test]
+    fn text_predicate_on_owner() {
+        let tree = lower("//title[text() = 'Intro']");
+        let t = &tree.nodes[0];
+        assert!(t.needs_text());
+        assert!(matches!(t.conditions[0], QCond::TextCmp(CmpOp::Eq, _)));
+    }
+
+    #[test]
+    fn max_branching_counts_slots() {
+        assert_eq!(lower("//a/b/c").max_branching(), 1);
+        assert_eq!(lower("//a[b][c][d]/e").max_branching(), 4);
+    }
+
+    #[test]
+    fn display_renders_tree_shape() {
+        let rendered = lower("//a[d]//b[e]//c").to_string();
+        assert!(rendered.contains("//a"));
+        assert!(rendered.contains("sol"));
+    }
+
+    #[test]
+    fn formula_eval_matches_truth_table() {
+        let f = QFormula::Or(
+            Box::new(QFormula::And(
+                Box::new(QFormula::Slot(0)),
+                Box::new(QFormula::Slot(1)),
+            )),
+            Box::new(QFormula::Slot(2)),
+        );
+        assert!(!f.eval(0b000));
+        assert!(!f.eval(0b001));
+        assert!(!f.eval(0b010));
+        assert!(f.eval(0b011));
+        assert!(f.eval(0b100));
+        assert!(f.eval(0b111));
+    }
+}
+
+#[cfg(test)]
+mod attr_result_tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    #[test]
+    fn trailing_attr_becomes_a_sol_condition() {
+        let tree = QueryTree::from_path(&parse("//a/b/@id").unwrap());
+        let sol = &tree.nodes[tree.sol];
+        assert!(matches!(&sol.conditions[0], QCond::AttrExists(n) if n == "id"));
+        assert!(!sol.formula.eval(0));
+        assert!(sol.formula.eval(1));
+    }
+}

@@ -1,0 +1,103 @@
+//! Instrumentation counters used to verify the paper's complexity claims.
+//!
+//! Theorem 4.4 bounds TwigM's running time by `O((|Q| + R·B)·|Q|·|D|)`.
+//! The counters below measure the quantities that proof counts —
+//! qualification probes, stack pushes/pops, and branch-match uploads — so
+//! the ablation benchmarks (`twigm-bench`, experiment E8) can check that
+//! the measured work grows linearly in `|D|` for a fixed query, and that
+//! the compact encoding stores `O(|Q|·R)` entries where explicit
+//! enumeration would store exponentially many matches (experiment E7).
+
+/// Work and memory counters maintained by every engine in this workspace.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `startElement` events processed.
+    pub start_events: u64,
+    /// `endElement` events processed.
+    pub end_events: u64,
+    /// Qualification checks: comparisons of an incoming element's level
+    /// against a parent-stack entry (the inner loop of δs).
+    pub qualification_probes: u64,
+    /// Entries pushed onto machine-node stacks.
+    pub pushes: u64,
+    /// Entries popped from machine-node stacks.
+    pub pops: u64,
+    /// Branch-match uploads: parent-stack entries examined while
+    /// propagating a satisfied child match (the inner loop of δe).
+    pub upload_probes: u64,
+    /// Candidate node ids copied during candidate-set unions.
+    pub candidates_merged: u64,
+    /// Maximum number of stack entries alive at any moment, summed over
+    /// all machine nodes (the paper's `|Q|·R` bound).
+    pub peak_entries: u64,
+    /// Maximum number of undecided candidate ids alive at any moment.
+    pub peak_candidates: u64,
+    /// Results emitted.
+    pub results: u64,
+    /// For explicit-enumeration baselines: pattern-match tuples created
+    /// (TwigM never creates these; the compact encoding avoids them).
+    pub tuples_materialized: u64,
+}
+
+impl EngineStats {
+    /// Total events processed (the paper's `|D|` proxy).
+    pub fn events(&self) -> u64 {
+        self.start_events + self.end_events
+    }
+
+    /// Total per-event work units (probes + pushes + pops + uploads):
+    /// the quantity Theorem 4.4 bounds.
+    pub fn work(&self) -> u64 {
+        self.qualification_probes + self.pushes + self.pops + self.upload_probes
+    }
+
+    /// Folds another stats record into this one (used when several
+    /// documents are processed by one logical run).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.start_events += other.start_events;
+        self.end_events += other.end_events;
+        self.qualification_probes += other.qualification_probes;
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.upload_probes += other.upload_probes;
+        self.candidates_merged += other.candidates_merged;
+        self.peak_entries = self.peak_entries.max(other.peak_entries);
+        self.peak_candidates = self.peak_candidates.max(other.peak_candidates);
+        self.results += other.results;
+        self.tuples_materialized += other.tuples_materialized;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_sums_the_bounded_quantities() {
+        let stats = EngineStats {
+            qualification_probes: 3,
+            pushes: 2,
+            pops: 2,
+            upload_probes: 5,
+            ..Default::default()
+        };
+        assert_eq!(stats.work(), 12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_peaks() {
+        let mut a = EngineStats {
+            start_events: 1,
+            peak_entries: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            start_events: 2,
+            peak_entries: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.start_events, 3);
+        assert_eq!(a.peak_entries, 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! The Book dataset: the role of IBM's XML Generator with the Book DTD
+//! from the XQuery use cases (paper §5.1, first dataset).
+//!
+//! The structure transcribes the use-case DTD: a bibliography of books,
+//! each with a title, authors and *recursively nested sections* — the
+//! recursion (`section//section`) combined with descendant-axis queries
+//! is exactly what makes this the dataset where TwigM's compact encoding
+//! pays off (figure 7(a)).
+//!
+//! The paper's generator settings are reproduced: `NumberLevels = 20`,
+//! `MaxRepeats = 9`, all else default.
+
+use std::io::{self, Write};
+
+use crate::dtd::{AttrGen, Content, Dtd, ElementDef, Occurs, Particle, TextGen};
+use crate::generator::{GenConfig, GenReport, Generator};
+
+/// Builds the Book DTD.
+pub fn dtd() -> Dtd {
+    let mut dtd = Dtd::new("bib", "book");
+    dtd.element(
+        "book",
+        ElementDef::seq(vec![
+            Particle::new("title", Occurs::One),
+            Particle::new("author", Occurs::Plus),
+            Particle::new("section", Occurs::Plus),
+        ])
+        .with_attr("id", AttrGen::Id("b".into()), 1.0)
+        .with_attr("year", AttrGen::Int(1980, 2006), 0.9),
+    );
+    dtd.element("title", ElementDef::pcdata(TextGen::Words(2, 5)));
+    dtd.element(
+        "author",
+        ElementDef::seq(vec![
+            Particle::new("first", Occurs::One),
+            Particle::new("last", Occurs::One),
+        ]),
+    );
+    dtd.element("first", ElementDef::pcdata(TextGen::Words(1, 1)));
+    dtd.element("last", ElementDef::pcdata(TextGen::Words(1, 1)));
+    // Section recursion is the dataset's defining feature: the weights
+    // below make deep `section//section` chains common (the generated
+    // documents reach the NumberLevels=20 cap, like the paper's), which
+    // is what multiplies pattern matches for `//`-queries.
+    dtd.element(
+        "section",
+        ElementDef {
+            content: Content::Choice {
+                options: vec![
+                    Particle::new("p", Occurs::One),
+                    Particle::new("figure", Occurs::One),
+                    Particle::new("section", Occurs::One),
+                    Particle::new("section", Occurs::One),
+                    Particle::new("title", Occurs::One),
+                ],
+                rounds: (1, 4),
+            },
+            attrs: vec![],
+            text: TextGen::Words(0, 0),
+        }
+        .with_attr("id", AttrGen::Id("s".into()), 0.7)
+        .with_attr("difficulty", AttrGen::Int(1, 10), 0.5),
+    );
+    dtd.element("p", ElementDef::pcdata(TextGen::Words(8, 25)));
+    dtd.element(
+        "figure",
+        ElementDef::seq(vec![
+            Particle::new("image", Occurs::One),
+            Particle::new("title", Occurs::Opt),
+        ])
+        .with_attr("width", AttrGen::Int(100, 1200), 1.0)
+        .with_attr("height", AttrGen::Int(100, 900), 1.0),
+    );
+    dtd.element(
+        "image",
+        ElementDef::empty().with_attr("source", AttrGen::Word, 1.0),
+    );
+    dtd
+}
+
+/// Generates approximately `target_bytes` of Book data.
+pub fn generate(seed: u64, target_bytes: usize, out: &mut dyn Write) -> io::Result<GenReport> {
+    let dtd = dtd();
+    Generator::new(&dtd, GenConfig::new(seed, target_bytes)).run(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_are_recursive() {
+        assert_eq!(dtd().recursive_elements(), vec!["section".to_string()]);
+    }
+
+    #[test]
+    fn generated_books_have_expected_shape() {
+        let mut out = Vec::new();
+        let report = generate(42, 50_000, &mut out).unwrap();
+        assert!(report.records >= 1);
+        assert!(report.max_depth >= 4);
+        assert!(report.max_depth <= 20, "NumberLevels must cap depth");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("<book"));
+        assert!(text.contains("<section"));
+        assert!(text.contains("<author>"));
+    }
+
+    #[test]
+    fn depth_cap_honours_number_levels() {
+        let dtd = dtd();
+        let mut config = GenConfig::new(42, 200_000);
+        config.number_levels = 20;
+        let mut out = Vec::new();
+        let report = Generator::new(&dtd, config).run(&mut out).unwrap();
+        assert!(report.max_depth <= 20);
+    }
+}

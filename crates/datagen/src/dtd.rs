@@ -1,0 +1,269 @@
+//! A miniature DTD model: the input language of the [`crate::generator`]
+//! (the role IBM's XML Generator gives real DTD files).
+
+use std::collections::HashMap;
+
+/// How often a particle repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly once.
+    One,
+    /// Zero or one (`?`).
+    Opt,
+    /// Zero or more (`*`): `0..=MaxRepeats` instances.
+    Star,
+    /// One or more (`+`): `1..=MaxRepeats` instances.
+    Plus,
+}
+
+/// One slot in a content model.
+#[derive(Debug, Clone)]
+pub struct Particle {
+    /// Name of the child element.
+    pub element: String,
+    /// Repetition.
+    pub occurs: Occurs,
+}
+
+impl Particle {
+    /// Shorthand constructor.
+    pub fn new(element: &str, occurs: Occurs) -> Self {
+        Particle {
+            element: element.to_string(),
+            occurs,
+        }
+    }
+}
+
+/// An element's content model.
+#[derive(Debug, Clone)]
+pub enum Content {
+    /// `EMPTY`.
+    Empty,
+    /// `(#PCDATA)`, generated per the element's [`TextGen`].
+    Pcdata,
+    /// A sequence of particles, in order.
+    Seq(Vec<Particle>),
+    /// A repeated choice: each of `count()` rounds picks one particle.
+    /// Models `(a | b | c)*` content like the Book DTD's section body.
+    Choice {
+        /// The alternatives.
+        options: Vec<Particle>,
+        /// How many rounds: `(min, max)` inclusive.
+        rounds: (usize, usize),
+    },
+}
+
+/// How PCDATA is produced.
+#[derive(Debug, Clone)]
+pub enum TextGen {
+    /// `min..=max` words from the lexicon.
+    Words(usize, usize),
+    /// A uniform integer rendered as text.
+    Int(i64, i64),
+    /// A `YYYY-MM-DD` date.
+    Date,
+    /// A fixed-choice string.
+    Choice(Vec<String>),
+    /// A residue sequence of `min..=max` characters (protein data).
+    Residues(usize, usize),
+}
+
+/// How an attribute value is produced.
+#[derive(Debug, Clone)]
+pub enum AttrGen {
+    /// A unique id `prefix{N}` with a per-prefix counter.
+    Id(String),
+    /// A reference `prefix{rng % pool}` to a bounded id pool.
+    Ref(String, usize),
+    /// A uniform integer.
+    Int(i64, i64),
+    /// One of a fixed set.
+    Choice(Vec<String>),
+    /// A single lexicon word.
+    Word,
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: String,
+    /// Value generator.
+    pub gen: AttrGen,
+    /// Probability the attribute is present (1.0 = `#REQUIRED`).
+    pub presence: f64,
+}
+
+/// An element declaration.
+#[derive(Debug, Clone)]
+pub struct ElementDef {
+    /// Content model.
+    pub content: Content,
+    /// Attribute list.
+    pub attrs: Vec<AttrDef>,
+    /// Text generator for `Pcdata` content.
+    pub text: TextGen,
+}
+
+impl ElementDef {
+    /// An element containing only text.
+    pub fn pcdata(text: TextGen) -> Self {
+        ElementDef {
+            content: Content::Pcdata,
+            attrs: Vec::new(),
+            text,
+        }
+    }
+
+    /// An element with sequential children.
+    pub fn seq(children: Vec<Particle>) -> Self {
+        ElementDef {
+            content: Content::Seq(children),
+            attrs: Vec::new(),
+            text: TextGen::Words(3, 8),
+        }
+    }
+
+    /// An empty element.
+    pub fn empty() -> Self {
+        ElementDef {
+            content: Content::Empty,
+            attrs: Vec::new(),
+            text: TextGen::Words(0, 0),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn with_attr(mut self, name: &str, gen: AttrGen, presence: f64) -> Self {
+        self.attrs.push(AttrDef {
+            name: name.to_string(),
+            gen,
+            presence,
+        });
+        self
+    }
+}
+
+/// A document type: element declarations plus the record element the
+/// generator repeats to reach the target size.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    elements: HashMap<String, ElementDef>,
+    /// The document root tag.
+    pub root: String,
+    /// The element repeated under the root to fill the document.
+    pub record: String,
+}
+
+impl Dtd {
+    /// Creates a DTD with the given root and record elements.
+    pub fn new(root: &str, record: &str) -> Self {
+        Dtd {
+            elements: HashMap::new(),
+            root: root.to_string(),
+            record: record.to_string(),
+        }
+    }
+
+    /// Declares an element.
+    pub fn element(&mut self, name: &str, def: ElementDef) -> &mut Self {
+        self.elements.insert(name.to_string(), def);
+        self
+    }
+
+    /// Looks up an element declaration.
+    pub fn get(&self, name: &str) -> Option<&ElementDef> {
+        self.elements.get(name)
+    }
+
+    /// Which elements can (transitively) contain themselves — used by the
+    /// generator's depth limiter and handy in tests.
+    pub fn recursive_elements(&self) -> Vec<String> {
+        let mut recursive = Vec::new();
+        for name in self.elements.keys() {
+            if self.reaches(name, name, &mut Vec::new()) {
+                recursive.push(name.clone());
+            }
+        }
+        recursive.sort();
+        recursive
+    }
+
+    fn reaches(&self, from: &str, target: &str, visiting: &mut Vec<String>) -> bool {
+        if visiting.iter().any(|v| v == from) {
+            return false;
+        }
+        visiting.push(from.to_string());
+        let result = self.children_of(from).iter().any(|c| {
+            c == target || self.reaches(c, target, visiting)
+        });
+        visiting.pop();
+        result
+    }
+
+    fn children_of(&self, name: &str) -> Vec<String> {
+        match self.elements.get(name).map(|d| &d.content) {
+            Some(Content::Seq(ps)) => ps.iter().map(|p| p.element.clone()).collect(),
+            Some(Content::Choice { options, .. }) => {
+                options.iter().map(|p| p.element.clone()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dtd {
+        let mut dtd = Dtd::new("bib", "book");
+        dtd.element(
+            "book",
+            ElementDef::seq(vec![
+                Particle::new("title", Occurs::One),
+                Particle::new("section", Occurs::Plus),
+            ]),
+        );
+        dtd.element("title", ElementDef::pcdata(TextGen::Words(2, 4)));
+        dtd.element(
+            "section",
+            ElementDef {
+                content: Content::Choice {
+                    options: vec![
+                        Particle::new("p", Occurs::One),
+                        Particle::new("section", Occurs::One),
+                    ],
+                    rounds: (0, 3),
+                },
+                attrs: Vec::new(),
+                text: TextGen::Words(0, 0),
+            },
+        );
+        dtd.element("p", ElementDef::pcdata(TextGen::Words(5, 10)));
+        dtd
+    }
+
+    #[test]
+    fn recursion_analysis_finds_section() {
+        let dtd = sample();
+        assert_eq!(dtd.recursive_elements(), vec!["section".to_string()]);
+    }
+
+    #[test]
+    fn children_extraction() {
+        let dtd = sample();
+        assert_eq!(dtd.children_of("book"), vec!["title", "section"]);
+        assert!(dtd.children_of("p").is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let def = ElementDef::empty()
+            .with_attr("id", AttrGen::Id("x".into()), 1.0)
+            .with_attr("kind", AttrGen::Word, 0.5);
+        assert_eq!(def.attrs.len(), 2);
+        assert!(matches!(def.content, Content::Empty));
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic XML dataset generators for the TwigM evaluation.
+//!
+//! The paper's experiments (§5.1) use three datasets plus a synthetic
+//! stress shape; none of the original files are distributable, so this
+//! crate regenerates structurally equivalent data:
+//!
+//! * [`book`] — the role of IBM's XML Generator driven by the Book DTD
+//!   from the XQuery use cases, with the paper's knobs (`NumberLevels =
+//!   20`, `MaxRepeats = 9`). Deeply *recursive* via nested `section`s —
+//!   the dataset on which pattern-match explosion shows.
+//! * [`auction`] — the role of the XMark benchmark's auction document:
+//!   wide, mostly flat, mildly recursive through
+//!   `description/parlist/listitem/parlist`.
+//! * [`protein`] — the role of the Georgetown Protein Sequence Database:
+//!   millions of small, shallow, non-recursive records; pure volume.
+//! * [`recursive`] — the paper's figure 1(a) shape (`n` nested `a`s over
+//!   `n` nested `b`s over one `c`), the worst case for explicit match
+//!   enumeration, used by the encoding/ablation experiments.
+//!
+//! All generators are driven by a tiny DTD interpreter ([`dtd`]) walked by
+//! a seeded RNG ([`generator`]), so any dataset is reproducible from
+//! `(seed, target size)` and can be streamed to any [`std::io::Write`]
+//! without materializing it in memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod book;
+pub mod dtd;
+pub mod generator;
+pub mod protein;
+pub mod recursive;
+mod words;
+
+pub use generator::{GenConfig, GenReport, Generator};
+
+/// The three paper datasets, for harness iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Synthetic Book data (recursive sections).
+    Book,
+    /// XMark-style auction data.
+    Auction,
+    /// Protein-database-style records.
+    Protein,
+}
+
+impl Dataset {
+    /// All datasets in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Book, Dataset::Auction, Dataset::Protein];
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Book => "Book",
+            Dataset::Auction => "Auction",
+            Dataset::Protein => "Protein",
+        }
+    }
+
+    /// Generates this dataset to `out` with the default seed.
+    pub fn generate(
+        &self,
+        target_bytes: usize,
+        out: &mut dyn std::io::Write,
+    ) -> std::io::Result<GenReport> {
+        match self {
+            Dataset::Book => book::generate(42, target_bytes, out),
+            Dataset::Auction => auction::generate(42, target_bytes, out),
+            Dataset::Protein => protein::generate(42, target_bytes, out),
+        }
+    }
+
+    /// Generates this dataset into a byte vector.
+    pub fn generate_vec(&self, target_bytes: usize) -> (Vec<u8>, GenReport) {
+        let mut out = Vec::with_capacity(target_bytes + target_bytes / 8);
+        let report = self
+            .generate(target_bytes, &mut out)
+            .expect("writing to a Vec cannot fail");
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_and_parse() {
+        for ds in Dataset::ALL {
+            let (xml, report) = ds.generate_vec(60_000);
+            assert!(
+                xml.len() >= 60_000,
+                "{} produced only {} bytes",
+                ds.name(),
+                xml.len()
+            );
+            assert!(report.elements > 50, "{}", ds.name());
+            // Must be well-formed.
+            let mut reader = twigm_sax::SaxReader::from_bytes(&xml);
+            let mut events = 0usize;
+            while reader.next_event().unwrap().is_some() {
+                events += 1;
+            }
+            assert!(events > 100, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = Dataset::Book.generate_vec(30_000);
+        let (b, _) = Dataset::Book.generate_vec(30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn book_is_recursive_auction_mildly_protein_not() {
+        let (book, _) = Dataset::Book.generate_vec(120_000);
+        let doc = twigm_baselines_free_recursion_check(&book);
+        assert!(doc, "book data must nest sections");
+        let (protein, _) = Dataset::Protein.generate_vec(120_000);
+        assert!(!twigm_baselines_free_recursion_check(&protein));
+    }
+
+    /// Local recursion check (no dependency on the baselines crate):
+    /// does any tag repeat along a root-to-leaf path?
+    fn twigm_baselines_free_recursion_check(xml: &[u8]) -> bool {
+        let mut reader = twigm_sax::SaxReader::from_bytes(xml);
+        let mut stack: Vec<String> = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            match e {
+                twigm_sax::Event::Start(t) => {
+                    if stack.iter().any(|s| s == t.name()) {
+                        return true;
+                    }
+                    stack.push(t.name().to_string());
+                }
+                twigm_sax::Event::End(_) => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+}

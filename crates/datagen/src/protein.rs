@@ -1,0 +1,155 @@
+//! The Protein dataset: the role of the Georgetown Protein Sequence
+//! Database export (paper §5.1, third dataset, 75 MB real data).
+//!
+//! Millions of small, shallow, **non-recursive** `ProteinEntry` records.
+//! The dataset's role in the evaluation is volume: it shows the engines'
+//! per-event costs at scale without any pattern-match complexity
+//! (figure 7(c)), and drives XMLTaskForce out of memory in figure 8(c).
+
+use std::io::{self, Write};
+
+use crate::dtd::{AttrGen, Dtd, ElementDef, Occurs, Particle, TextGen};
+use crate::generator::{GenConfig, GenReport, Generator};
+
+/// Builds the protein-database DTD.
+pub fn dtd() -> Dtd {
+    let mut dtd = Dtd::new("ProteinDatabase", "ProteinEntry");
+    dtd.element(
+        "ProteinEntry",
+        ElementDef::seq(vec![
+            Particle::new("header", Occurs::One),
+            Particle::new("protein", Occurs::One),
+            Particle::new("organism", Occurs::One),
+            Particle::new("reference", Occurs::Plus),
+            Particle::new("genetics", Occurs::Opt),
+            Particle::new("classification", Occurs::Opt),
+            Particle::new("keywords", Occurs::Opt),
+            Particle::new("summary", Occurs::One),
+            Particle::new("sequence", Occurs::One),
+        ])
+        .with_attr("id", AttrGen::Id("PIR".into()), 1.0),
+    );
+    dtd.element(
+        "header",
+        ElementDef::seq(vec![
+            Particle::new("uid", Occurs::One),
+            Particle::new("accession", Occurs::Plus),
+        ]),
+    );
+    dtd.element("uid", ElementDef::pcdata(TextGen::Int(100_000, 999_999)));
+    dtd.element("accession", ElementDef::pcdata(TextGen::Int(10_000, 99_999)));
+    dtd.element(
+        "protein",
+        ElementDef::seq(vec![Particle::new("name", Occurs::One)]),
+    );
+    dtd.element("name", ElementDef::pcdata(TextGen::Words(2, 5)));
+    dtd.element(
+        "organism",
+        ElementDef::seq(vec![
+            Particle::new("source", Occurs::One),
+            Particle::new("common", Occurs::Opt),
+        ]),
+    );
+    dtd.element("source", ElementDef::pcdata(TextGen::Words(1, 3)));
+    dtd.element("common", ElementDef::pcdata(TextGen::Words(1, 2)));
+    dtd.element(
+        "reference",
+        ElementDef::seq(vec![
+            Particle::new("refinfo", Occurs::One),
+            Particle::new("accinfo", Occurs::Opt),
+        ]),
+    );
+    dtd.element(
+        "refinfo",
+        ElementDef::seq(vec![
+            Particle::new("authors", Occurs::One),
+            Particle::new("title", Occurs::One),
+            Particle::new("citation", Occurs::One),
+            Particle::new("year", Occurs::One),
+        ])
+        .with_attr("refid", AttrGen::Id("ref".into()), 1.0),
+    );
+    dtd.element(
+        "authors",
+        ElementDef::seq(vec![Particle::new("author", Occurs::Plus)]),
+    );
+    dtd.element("author", ElementDef::pcdata(TextGen::Words(2, 2)));
+    dtd.element("title", ElementDef::pcdata(TextGen::Words(4, 10)));
+    dtd.element(
+        "citation",
+        ElementDef::pcdata(TextGen::Words(2, 4)),
+    );
+    dtd.element("year", ElementDef::pcdata(TextGen::Int(1970, 2006)));
+    dtd.element(
+        "accinfo",
+        ElementDef::seq(vec![Particle::new("mol-type", Occurs::One)])
+            .with_attr("accession", AttrGen::Int(10_000, 99_999), 1.0),
+    );
+    dtd.element(
+        "mol-type",
+        ElementDef::pcdata(TextGen::Choice(vec![
+            "complete".into(),
+            "fragment".into(),
+            "mRNA".into(),
+        ])),
+    );
+    dtd.element(
+        "genetics",
+        ElementDef::seq(vec![Particle::new("gene", Occurs::Plus)]),
+    );
+    dtd.element("gene", ElementDef::pcdata(TextGen::Words(1, 1)));
+    dtd.element(
+        "classification",
+        ElementDef::seq(vec![Particle::new("superfamily", Occurs::One)]),
+    );
+    dtd.element("superfamily", ElementDef::pcdata(TextGen::Words(2, 4)));
+    dtd.element(
+        "keywords",
+        ElementDef::seq(vec![Particle::new("keyword", Occurs::Plus)]),
+    );
+    dtd.element("keyword", ElementDef::pcdata(TextGen::Words(1, 2)));
+    dtd.element(
+        "summary",
+        ElementDef::seq(vec![
+            Particle::new("length", Occurs::One),
+            Particle::new("type", Occurs::One),
+        ]),
+    );
+    dtd.element("length", ElementDef::pcdata(TextGen::Int(50, 3_000)));
+    dtd.element(
+        "type",
+        ElementDef::pcdata(TextGen::Choice(vec![
+            "protein".into(),
+            "fragment".into(),
+        ])),
+    );
+    dtd.element("sequence", ElementDef::pcdata(TextGen::Residues(60, 400)));
+    dtd
+}
+
+/// Generates approximately `target_bytes` of protein data.
+pub fn generate(seed: u64, target_bytes: usize, out: &mut dyn Write) -> io::Result<GenReport> {
+    let dtd = dtd();
+    Generator::new(&dtd, GenConfig::new(seed, target_bytes)).run(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_non_recursive() {
+        assert!(dtd().recursive_elements().is_empty());
+    }
+
+    #[test]
+    fn records_are_shallow() {
+        let mut out = Vec::new();
+        let report = generate(42, 60_000, &mut out).unwrap();
+        assert!(report.max_depth <= 6, "got depth {}", report.max_depth);
+        assert!(report.records >= 10);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("<ProteinEntry id=\"PIR0\""));
+        assert!(text.contains("<sequence>"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Recursive stress documents: the paper's figure 1(a) shape and a
+//! configurable deep-recursion generator, used by the encoding and
+//! complexity experiments (E7, E8).
+
+use std::io::{self, Write};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Writes the paper's figure 1(a) document for a given `n`:
+///
+/// ```text
+/// <a>…n nested a's…  <b>…n nested b's…  <c/>  </b>… (e under b₁) …</b>
+/// </a>… (d under a₁) …</a>
+/// ```
+///
+/// The single `c` participates in `n²` pattern matches of `//a//b//c`,
+/// of which only `(a₁, b₁, c₁)` satisfies the predicates of
+/// `//a[d]//b[e]//c`.
+pub fn figure1(n: usize, out: &mut dyn Write) -> io::Result<()> {
+    for _ in 0..n {
+        out.write_all(b"<a>")?;
+    }
+    for _ in 0..n {
+        out.write_all(b"<b>")?;
+    }
+    out.write_all(b"<c/>")?;
+    for i in 0..n {
+        if i == n - 1 {
+            out.write_all(b"<e/>")?;
+        }
+        out.write_all(b"</b>")?;
+    }
+    for i in 0..n {
+        if i == n - 1 {
+            out.write_all(b"<d/>")?;
+        }
+        out.write_all(b"</a>")?;
+    }
+    Ok(())
+}
+
+/// [`figure1`] into a string.
+pub fn figure1_string(n: usize) -> String {
+    let mut out = Vec::new();
+    figure1(n, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("generated ASCII")
+}
+
+/// A randomized recursive document: a tree of depth up to `depth` where
+/// every element is drawn from a small tag alphabet, so tags repeat along
+/// paths with high probability. Returns the element count.
+///
+/// Used by differential tests (random recursive inputs) and the
+/// complexity sweeps (vary depth at fixed size).
+pub fn random_recursive(
+    seed: u64,
+    depth: u32,
+    fanout: usize,
+    tags: &[&str],
+    out: &mut dyn Write,
+) -> io::Result<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut count = 0;
+    write_node(&mut rng, 1, depth, fanout, tags, out, &mut count)?;
+    Ok(count)
+}
+
+fn write_node(
+    rng: &mut StdRng,
+    level: u32,
+    max_depth: u32,
+    fanout: usize,
+    tags: &[&str],
+    out: &mut dyn Write,
+    count: &mut u64,
+) -> io::Result<()> {
+    let tag = tags[rng.gen_range(0..tags.len())];
+    *count += 1;
+    write!(out, "<{tag}>")?;
+    if level < max_depth {
+        let children = rng.gen_range(0..=fanout);
+        for _ in 0..children {
+            write_node(rng, level + 1, max_depth, fanout, tags, out, count)?;
+        }
+    }
+    write!(out, "</{tag}>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let xml = figure1_string(2);
+        assert_eq!(xml, "<a><a><b><b><c/></b><e/></b></a><d/></a>");
+    }
+
+    #[test]
+    fn figure1_parses_and_counts() {
+        let xml = figure1_string(10);
+        let mut reader = twigm_sax::SaxReader::from_bytes(xml.as_bytes());
+        let mut starts = 0;
+        while let Some(e) = reader.next_event().unwrap() {
+            if matches!(e, twigm_sax::Event::Start(_)) {
+                starts += 1;
+            }
+        }
+        // n a's + n b's + c + d + e.
+        assert_eq!(starts, 23);
+    }
+
+    #[test]
+    fn random_recursive_is_wellformed_and_deterministic() {
+        let mut a = Vec::new();
+        let count_a = random_recursive(3, 6, 3, &["x", "y"], &mut a).unwrap();
+        let mut b = Vec::new();
+        let count_b = random_recursive(3, 6, 3, &["x", "y"], &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(count_a, count_b);
+        let mut reader = twigm_sax::SaxReader::from_bytes(&a);
+        let mut starts = 0;
+        while let Some(e) = reader.next_event().unwrap() {
+            if matches!(e, twigm_sax::Event::Start(_)) {
+                starts += 1;
+            }
+        }
+        assert_eq!(starts as u64, count_a);
+    }
+}

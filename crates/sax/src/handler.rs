@@ -1,0 +1,118 @@
+//! Push-based (callback) parsing API.
+
+use std::io::Read;
+
+use crate::error::SaxResult;
+use crate::event::{Attribute, Event, NodeId};
+use crate::reader::SaxReader;
+
+/// A SAX content handler.
+///
+/// All methods have no-op defaults except the two events the TwigM machines
+/// consume: `start_element` (the paper's `startElement(tag, level, id)`)
+/// and `end_element` (`endElement(tag, level)`).
+pub trait SaxHandler {
+    /// A start tag was parsed. `attrs` are the decoded attributes in
+    /// document order; `level` is the element depth (root = 1); `id` is
+    /// the pre-order node id.
+    fn start_element(&mut self, name: &str, attrs: &[Attribute<'_>], level: u32, id: NodeId);
+
+    /// An end tag was parsed; `level` matches the start tag's level.
+    fn end_element(&mut self, name: &str, level: u32);
+
+    /// Character data (possibly split into chunks).
+    fn text(&mut self, _text: &str) {}
+
+    /// A comment.
+    fn comment(&mut self, _text: &str) {}
+
+    /// A processing instruction.
+    fn processing_instruction(&mut self, _target: &str, _data: &str) {}
+}
+
+/// Parses a complete document from `src`, pushing events into `handler`.
+pub fn parse_reader<R: Read, H: SaxHandler>(src: R, handler: &mut H) -> SaxResult<()> {
+    let mut reader = SaxReader::new(src);
+    while let Some(event) = reader.next_event()? {
+        match event {
+            Event::Start(tag) => {
+                let mut attrs: Vec<Attribute<'_>> = Vec::new();
+                for attr in tag.attributes() {
+                    attrs.push(attr?);
+                }
+                handler.start_element(tag.name(), &attrs, tag.level(), tag.id());
+            }
+            Event::End(tag) => handler.end_element(tag.name(), tag.level()),
+            Event::Text(text) => handler.text(&text),
+            Event::Comment(text) => handler.comment(text),
+            Event::ProcessingInstruction { target, data } => {
+                handler.processing_instruction(target, data)
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a complete in-memory document, pushing events into `handler`.
+pub fn parse_bytes<H: SaxHandler>(bytes: &[u8], handler: &mut H) -> SaxResult<()> {
+    parse_reader(bytes, handler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Trace(Vec<String>);
+
+    impl SaxHandler for Trace {
+        fn start_element(&mut self, name: &str, attrs: &[Attribute<'_>], level: u32, id: NodeId) {
+            let attrs: Vec<String> = attrs
+                .iter()
+                .map(|a| format!("{}={}", a.name, a.value))
+                .collect();
+            self.0
+                .push(format!("start {name} l{level} #{id} [{}]", attrs.join(",")));
+        }
+        fn end_element(&mut self, name: &str, level: u32) {
+            self.0.push(format!("end {name} l{level}"));
+        }
+        fn text(&mut self, text: &str) {
+            self.0.push(format!("text {text}"));
+        }
+        fn comment(&mut self, text: &str) {
+            self.0.push(format!("comment {text}"));
+        }
+        fn processing_instruction(&mut self, target: &str, data: &str) {
+            self.0.push(format!("pi {target} {data}"));
+        }
+    }
+
+    #[test]
+    fn push_api_delivers_all_event_kinds() {
+        let mut trace = Trace::default();
+        parse_bytes(
+            br#"<a x="1"><!--c--><?t d?>hi<b/></a>"#,
+            &mut trace,
+        )
+        .unwrap();
+        assert_eq!(
+            trace.0,
+            vec![
+                "start a l1 #0 [x=1]",
+                "comment c",
+                "pi t d",
+                "text hi",
+                "start b l2 #1 []",
+                "end b l2",
+                "end a l1",
+            ]
+        );
+    }
+
+    #[test]
+    fn push_api_propagates_errors() {
+        let mut trace = Trace::default();
+        assert!(parse_bytes(b"<a>", &mut trace).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Namespace tracking (XML Namespaces 1.0) as an optional layer.
+//!
+//! The TwigM machines match *tag strings*, which is exactly what the
+//! paper does; documents that use prefixes therefore match queries
+//! written with the same prefixes (`//xsl:template`). When prefix
+//! spelling cannot be trusted, [`NamespaceTracker`] resolves each
+//! element and attribute to its `(namespace URI, local name)` pair so a
+//! caller can normalize names before feeding an engine — e.g. rewrite
+//! every element to its local name, or to a canonical
+//! `{uri}local` form.
+//!
+//! The tracker is deliberately a helper rather than a reader mode: it
+//! keeps the hot parsing path allocation-free for the (overwhelmingly
+//! common in the paper's datasets) namespace-free case.
+
+use std::borrow::Cow;
+
+use crate::event::Attribute;
+
+/// The XML namespace URI bound to the reserved `xml` prefix.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// One prefix binding in scope.
+#[derive(Debug, Clone)]
+struct Binding {
+    /// Depth of the element that declared it.
+    depth: u32,
+    /// The prefix (empty string = default namespace).
+    prefix: String,
+    /// The URI (empty = undeclared, per namespaces-1.1 `xmlns=""`).
+    uri: String,
+}
+
+/// A resolved name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved<'a> {
+    /// The namespace URI; empty when the name is in no namespace.
+    pub uri: Cow<'a, str>,
+    /// The local part (after the colon, or the whole name).
+    pub local: &'a str,
+    /// The prefix as written (empty for unprefixed names).
+    pub prefix: &'a str,
+}
+
+impl Resolved<'_> {
+    /// Clark notation: `{uri}local`, or just `local` without a URI.
+    pub fn clark(&self) -> String {
+        if self.uri.is_empty() {
+            self.local.to_string()
+        } else {
+            format!("{{{}}}{}", self.uri, self.local)
+        }
+    }
+}
+
+/// Tracks in-scope namespace bindings across a stream of start/end
+/// events.
+///
+/// Call [`NamespaceTracker::push_element`] with each start tag's
+/// attributes *before* resolving names at that element, and
+/// [`NamespaceTracker::pop_element`] at each end tag.
+#[derive(Debug, Default)]
+pub struct NamespaceTracker {
+    bindings: Vec<Binding>,
+    depth: u32,
+}
+
+impl NamespaceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the declarations (`xmlns`, `xmlns:p`) of a start tag.
+    pub fn push_element(&mut self, attrs: &[Attribute<'_>]) {
+        self.depth += 1;
+        for attr in attrs {
+            if attr.name == "xmlns" {
+                self.bindings.push(Binding {
+                    depth: self.depth,
+                    prefix: String::new(),
+                    uri: attr.value.clone().into_owned(),
+                });
+            } else if let Some(prefix) = attr.name.strip_prefix("xmlns:") {
+                self.bindings.push(Binding {
+                    depth: self.depth,
+                    prefix: prefix.to_string(),
+                    uri: attr.value.clone().into_owned(),
+                });
+            }
+        }
+    }
+
+    /// Drops declarations that go out of scope with the closing element.
+    pub fn pop_element(&mut self) {
+        let depth = self.depth;
+        self.bindings.retain(|b| b.depth < depth);
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The URI currently bound to a prefix (`""` = default namespace).
+    pub fn lookup(&self, prefix: &str) -> Option<&str> {
+        if prefix == "xml" {
+            return Some(XML_NS);
+        }
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.prefix == prefix)
+            .map(|b| b.uri.as_str())
+            .filter(|uri| !uri.is_empty())
+    }
+
+    /// Resolves an element name against the in-scope bindings.
+    ///
+    /// Unprefixed element names take the default namespace; an unbound
+    /// prefix resolves to an empty URI (reported rather than erroring,
+    /// since the engines treat names as opaque strings anyway).
+    pub fn resolve_element<'a>(&'a self, name: &'a str) -> Resolved<'a> {
+        match name.split_once(':') {
+            Some((prefix, local)) => Resolved {
+                uri: Cow::Borrowed(self.lookup(prefix).unwrap_or("")),
+                local,
+                prefix,
+            },
+            None => Resolved {
+                uri: Cow::Borrowed(self.lookup("").unwrap_or("")),
+                local: name,
+                prefix: "",
+            },
+        }
+    }
+
+    /// Resolves an attribute name: unprefixed attributes are in **no**
+    /// namespace (per the spec), unlike elements.
+    pub fn resolve_attribute<'a>(&'a self, name: &'a str) -> Resolved<'a> {
+        match name.split_once(':') {
+            Some((prefix, local)) => Resolved {
+                uri: Cow::Borrowed(self.lookup(prefix).unwrap_or("")),
+                local,
+                prefix,
+            },
+            None => Resolved {
+                uri: Cow::Borrowed(""),
+                local: name,
+                prefix: "",
+            },
+        }
+    }
+
+    /// Strips the prefix from a name (`soap:Body` → `Body`): the common
+    /// normalization when feeding a prefix-agnostic query.
+    pub fn local_name(name: &str) -> &str {
+        match name.split_once(':') {
+            Some((_, local)) => local,
+            None => name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr<'a>(name: &'a str, value: &'a str) -> Attribute<'a> {
+        Attribute {
+            name,
+            value: Cow::Borrowed(value),
+        }
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attributes() {
+        let mut ns = NamespaceTracker::new();
+        ns.push_element(&[attr("xmlns", "urn:x")]);
+        let e = ns.resolve_element("book");
+        assert_eq!(e.uri, "urn:x");
+        assert_eq!(e.clark(), "{urn:x}book");
+        let a = ns.resolve_attribute("id");
+        assert_eq!(a.uri, "");
+        assert_eq!(a.clark(), "id");
+    }
+
+    #[test]
+    fn prefixed_bindings_and_scoping() {
+        let mut ns = NamespaceTracker::new();
+        ns.push_element(&[attr("xmlns:a", "urn:one")]);
+        assert_eq!(ns.resolve_element("a:x").uri, "urn:one");
+        ns.push_element(&[attr("xmlns:a", "urn:two")]);
+        assert_eq!(ns.resolve_element("a:x").uri, "urn:two");
+        ns.pop_element();
+        assert_eq!(ns.resolve_element("a:x").uri, "urn:one");
+        ns.pop_element();
+        assert_eq!(ns.resolve_element("a:x").uri, "");
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let ns = NamespaceTracker::new();
+        assert_eq!(ns.lookup("xml"), Some(XML_NS));
+        assert_eq!(ns.resolve_attribute("xml:lang").uri, XML_NS);
+    }
+
+    #[test]
+    fn default_namespace_can_be_undeclared() {
+        let mut ns = NamespaceTracker::new();
+        ns.push_element(&[attr("xmlns", "urn:x")]);
+        ns.push_element(&[attr("xmlns", "")]);
+        assert_eq!(ns.resolve_element("y").uri, "");
+        ns.pop_element();
+        assert_eq!(ns.resolve_element("y").uri, "urn:x");
+    }
+
+    #[test]
+    fn local_name_helper() {
+        assert_eq!(NamespaceTracker::local_name("soap:Body"), "Body");
+        assert_eq!(NamespaceTracker::local_name("Body"), "Body");
+    }
+
+    #[test]
+    fn depth_tracks_pushes() {
+        let mut ns = NamespaceTracker::new();
+        assert_eq!(ns.depth(), 0);
+        ns.push_element(&[]);
+        ns.push_element(&[]);
+        assert_eq!(ns.depth(), 2);
+        ns.pop_element();
+        assert_eq!(ns.depth(), 1);
+    }
+
+    #[test]
+    fn unbound_prefix_resolves_to_empty() {
+        let ns = NamespaceTracker::new();
+        let r = ns.resolve_element("nope:x");
+        assert_eq!(r.uri, "");
+        assert_eq!(r.local, "x");
+        assert_eq!(r.prefix, "nope");
+    }
+}

@@ -1,0 +1,266 @@
+//! An escaping XML serializer.
+//!
+//! Used by the dataset generators (`twigm-datagen`) and by TwigM's
+//! XML-fragment output mode. The writer tracks open elements so documents
+//! it produces are well-formed by construction, and it can optionally
+//! pretty-print with indentation.
+
+use std::io::{self, Write};
+
+use crate::entity::{escape_attr, escape_text};
+
+/// A streaming XML writer.
+///
+/// # Example
+///
+/// ```
+/// use twigm_sax::XmlWriter;
+///
+/// let mut out = Vec::new();
+/// let mut w = XmlWriter::new(&mut out);
+/// w.start("book").unwrap();
+/// w.attr("year", "2006").unwrap();
+/// w.start("title").unwrap();
+/// w.text("Streams & Trees").unwrap();
+/// w.end().unwrap(); // </title>
+/// w.end().unwrap(); // </book>
+/// assert_eq!(
+///     String::from_utf8(out).unwrap(),
+///     r#"<book year="2006"><title>Streams &amp; Trees</title></book>"#
+/// );
+/// ```
+pub struct XmlWriter<W> {
+    out: W,
+    open: Vec<String>,
+    /// A start tag has been written but its `>` has not (attributes may
+    /// still be appended).
+    tag_open: bool,
+    /// The element currently open has child content (affects `</x>` vs `/>`).
+    has_content: bool,
+    indent: Option<usize>,
+    /// Suppress indentation around text content of the current element.
+    text_written: bool,
+}
+
+impl<W: Write> XmlWriter<W> {
+    /// Creates a compact (no whitespace) writer.
+    pub fn new(out: W) -> Self {
+        XmlWriter {
+            out,
+            open: Vec::new(),
+            tag_open: false,
+            has_content: false,
+            indent: None,
+            text_written: false,
+        }
+    }
+
+    /// Creates a pretty-printing writer using `width` spaces per level.
+    pub fn pretty(out: W, width: usize) -> Self {
+        let mut w = Self::new(out);
+        w.indent = Some(width);
+        w
+    }
+
+    /// Writes the standard XML declaration.
+    pub fn declaration(&mut self) -> io::Result<()> {
+        self.out
+            .write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
+        self.newline()
+    }
+
+    /// Opens an element. Attributes may be added with [`XmlWriter::attr`]
+    /// until the next content call.
+    pub fn start(&mut self, name: &str) -> io::Result<()> {
+        self.close_pending_tag()?;
+        if !self.open.is_empty() || self.indent.is_some() {
+            self.indent_line(self.open.len())?;
+        }
+        write!(self.out, "<{name}")?;
+        self.open.push(name.to_string());
+        self.tag_open = true;
+        self.has_content = false;
+        self.text_written = false;
+        Ok(())
+    }
+
+    /// Adds an attribute to the element whose start tag is still open.
+    pub fn attr(&mut self, name: &str, value: &str) -> io::Result<()> {
+        assert!(
+            self.tag_open,
+            "attr() must directly follow start() (element `{}`)",
+            self.open.last().map(String::as_str).unwrap_or("?")
+        );
+        write!(self.out, " {name}=\"{}\"", escape_attr(value))
+    }
+
+    /// Writes escaped character data inside the current element.
+    pub fn text(&mut self, text: &str) -> io::Result<()> {
+        self.close_pending_tag()?;
+        self.has_content = true;
+        self.text_written = true;
+        write!(self.out, "{}", escape_text(text))
+    }
+
+    /// Writes a comment.
+    pub fn comment(&mut self, text: &str) -> io::Result<()> {
+        self.close_pending_tag()?;
+        self.has_content = true;
+        self.indent_line(self.open.len())?;
+        write!(self.out, "<!--{text}-->")
+    }
+
+    /// Closes the innermost open element.
+    pub fn end(&mut self) -> io::Result<()> {
+        let name = self.open.pop().expect("end() with no open element");
+        if self.tag_open {
+            // No content: use the empty-element form.
+            self.tag_open = false;
+            self.out.write_all(b"/>")?;
+        } else {
+            if !self.text_written {
+                self.indent_line(self.open.len())?;
+            }
+            write!(self.out, "</{name}>")?;
+        }
+        self.has_content = true;
+        self.text_written = false;
+        if self.open.is_empty() {
+            self.newline()?;
+        }
+        Ok(())
+    }
+
+    /// Closes all open elements and flushes the underlying writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        while !self.open.is_empty() {
+            self.end()?;
+        }
+        self.out.flush()
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn close_pending_tag(&mut self) -> io::Result<()> {
+        if self.tag_open {
+            self.tag_open = false;
+            self.out.write_all(b">")?;
+        }
+        Ok(())
+    }
+
+    fn indent_line(&mut self, level: usize) -> io::Result<()> {
+        if let Some(width) = self.indent {
+            self.out.write_all(b"\n")?;
+            let pad = b" ".repeat(width * level);
+            self.out.write_all(&pad)?;
+        }
+        Ok(())
+    }
+
+    fn newline(&mut self) -> io::Result<()> {
+        if self.indent.is_some() {
+            self.out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::SaxReader;
+
+    fn write_sample(pretty: bool) -> String {
+        let mut out = Vec::new();
+        {
+            let mut w = if pretty {
+                XmlWriter::pretty(&mut out, 2)
+            } else {
+                XmlWriter::new(&mut out)
+            };
+            w.start("book").unwrap();
+            w.attr("id", "b1").unwrap();
+            w.start("title").unwrap();
+            w.text("A & B").unwrap();
+            w.end().unwrap();
+            w.start("empty").unwrap();
+            w.end().unwrap();
+            w.finish().unwrap();
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn compact_output_matches() {
+        assert_eq!(
+            write_sample(false),
+            r#"<book id="b1"><title>A &amp; B</title><empty/></book>"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let xml = write_sample(true);
+        assert!(xml.contains("\n  <title>"));
+        let mut reader = SaxReader::from_bytes(xml.as_bytes());
+        let mut count = 0;
+        while reader.next_event().unwrap().is_some() {
+            count += 1;
+        }
+        assert!(count >= 6);
+    }
+
+    #[test]
+    fn finish_closes_everything() {
+        let mut out = Vec::new();
+        let mut w = XmlWriter::new(&mut out);
+        w.start("a").unwrap();
+        w.start("b").unwrap();
+        w.text("x").unwrap();
+        w.finish().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn writer_output_roundtrips_through_reader() {
+        let mut out = Vec::new();
+        {
+            let mut w = XmlWriter::new(&mut out);
+            w.declaration().unwrap();
+            w.start("r").unwrap();
+            w.attr("q", "a\"b<c").unwrap();
+            w.text("x < y & z > w").unwrap();
+            w.finish().unwrap();
+        }
+        let mut reader = SaxReader::from_bytes(&out);
+        let mut text = String::new();
+        let mut attr_val = String::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            match e {
+                crate::event::Event::Start(tag) => {
+                    if let Some(v) = tag.attribute("q") {
+                        attr_val = v.into_owned();
+                    }
+                }
+                crate::event::Event::Text(t) => text.push_str(&t),
+                _ => {}
+            }
+        }
+        assert_eq!(attr_val, "a\"b<c");
+        assert_eq!(text, "x < y & z > w");
+    }
+
+    #[test]
+    #[should_panic(expected = "attr() must directly follow start()")]
+    fn attr_after_content_panics() {
+        let mut out = Vec::new();
+        let mut w = XmlWriter::new(&mut out);
+        w.start("a").unwrap();
+        w.text("x").unwrap();
+        let _ = w.attr("late", "v");
+    }
+}

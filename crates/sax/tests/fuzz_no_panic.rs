@@ -1,0 +1,78 @@
+//! Robustness properties: the parser must never panic — arbitrary bytes,
+//! mutated valid documents, and truncations all either parse or produce
+//! a typed error.
+
+use proptest::prelude::*;
+use twigm_sax::SaxReader;
+
+/// Drains a reader, returning whether it errored (panics propagate and
+/// fail the test).
+fn drain(bytes: &[u8]) -> bool {
+    let mut reader = SaxReader::from_bytes(bytes).with_max_markup(1 << 16);
+    loop {
+        match reader.next_event() {
+            Ok(Some(_)) => continue,
+            Ok(None) => return false,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Bytes biased toward XML-looking content, so mutation reaches deep
+/// parser states instead of failing at the first byte.
+fn xmlish_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => proptest::sample::select(
+                &b"<>/=\"'&;![]-?abc Xx09\xC3\xA9"[..]
+            ),
+            1 => any::<u8>(),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        drain(&bytes);
+    }
+
+    #[test]
+    fn xmlish_bytes_never_panic(bytes in xmlish_bytes()) {
+        drain(&bytes);
+    }
+
+    #[test]
+    fn mutated_valid_documents_never_panic(
+        flip_at in 0usize..60,
+        flip_to in any::<u8>(),
+    ) {
+        let mut doc =
+            br#"<r a="1"><x>t &amp; u</x><!--c--><![CDATA[z]]><y b='2'/></r>"#.to_vec();
+        if flip_at < doc.len() {
+            doc[flip_at] = flip_to;
+        }
+        drain(&doc);
+    }
+
+    #[test]
+    fn truncations_of_valid_documents_error_or_finish(cut in 0usize..62) {
+        let doc = br#"<r a="1"><x>t &amp; u</x><!--c--><![CDATA[z]]><y b='2'/></r>"#;
+        let cut = cut.min(doc.len());
+        let truncated = &doc[..cut];
+        // Truncated documents must error (they cannot be complete) unless
+        // the cut removed nothing.
+        if cut < doc.len() {
+            prop_assert!(drain(truncated), "truncation at {cut} silently succeeded");
+        }
+    }
+
+    #[test]
+    fn doubled_documents_report_multiple_roots(n in 2usize..4) {
+        let doc = b"<a><b/></a>".repeat(n);
+        prop_assert!(drain(&doc));
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests: any tree serialized by `XmlWriter` parses back to
+//! the same tree via `SaxReader`, with correct levels and pre-order ids.
+
+use proptest::prelude::*;
+use twigm_sax::{Event, SaxReader, XmlWriter};
+
+/// A reference tree we can generate, serialize, and compare against.
+#[derive(Debug, Clone, PartialEq)]
+struct Elem {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Elem(Elem),
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}"
+}
+
+/// Text that exercises escaping: includes <, >, &, quotes and unicode.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just("é".to_string()),
+            Just("日".to_string()),
+            "[ a-zA-Z0-9]{1,6}".prop_map(|s| s),
+        ],
+        1..6,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((name_strategy(), text_strategy()), 0..3).prop_map(|mut attrs| {
+        // Attribute names must be unique within one element.
+        attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        attrs.dedup_by(|a, b| a.0 == b.0);
+        attrs
+    })
+}
+
+fn elem_strategy() -> impl Strategy<Value = Elem> {
+    let leaf = (name_strategy(), attrs_strategy()).prop_map(|(name, attrs)| Elem {
+        name,
+        attrs,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        let node = prop_oneof![
+            inner.prop_map(Node::Elem),
+            text_strategy().prop_map(Node::Text),
+        ];
+        (
+            name_strategy(),
+            attrs_strategy(),
+            proptest::collection::vec(node, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Elem {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn write_elem<W: std::io::Write>(w: &mut XmlWriter<W>, elem: &Elem) {
+    w.start(&elem.name).unwrap();
+    for (k, v) in &elem.attrs {
+        w.attr(k, v).unwrap();
+    }
+    for child in &elem.children {
+        match child {
+            Node::Elem(e) => write_elem(w, e),
+            Node::Text(t) => w.text(t).unwrap(),
+        }
+    }
+    w.end().unwrap();
+}
+
+/// Parses the document back into a tree, merging adjacent text events
+/// (the reader may split long text) and checking level/id bookkeeping.
+fn parse_tree(xml: &[u8]) -> Elem {
+    let mut reader = SaxReader::from_bytes(xml);
+    let mut stack: Vec<Elem> = Vec::new();
+    let mut root = None;
+    let mut expected_id = 0u64;
+    while let Some(event) = reader.next_event().unwrap() {
+        match event {
+            Event::Start(tag) => {
+                assert_eq!(tag.level() as usize, stack.len() + 1, "level bookkeeping");
+                assert_eq!(tag.id().get(), expected_id, "pre-order id bookkeeping");
+                expected_id += 1;
+                let attrs = tag
+                    .attributes()
+                    .map(|a| a.unwrap())
+                    .map(|a| (a.name.to_string(), a.value.into_owned()))
+                    .collect();
+                stack.push(Elem {
+                    name: tag.name().to_string(),
+                    attrs,
+                    children: Vec::new(),
+                });
+            }
+            Event::End(tag) => {
+                assert_eq!(tag.level() as usize, stack.len());
+                let elem = stack.pop().unwrap();
+                assert_eq!(tag.name(), elem.name);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Elem(elem)),
+                    None => root = Some(elem),
+                }
+            }
+            Event::Text(text) => {
+                let parent = stack.last_mut().expect("text outside root");
+                if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                    prev.push_str(&text);
+                } else {
+                    parent.children.push(Node::Text(text.into_owned()));
+                }
+            }
+            _ => {}
+        }
+    }
+    root.expect("no root element")
+}
+
+/// Adjacent generated text nodes merge on the wire, so normalize the
+/// reference tree the same way before comparing.
+fn normalize(elem: &Elem) -> Elem {
+    let mut children: Vec<Node> = Vec::new();
+    for child in &elem.children {
+        match child {
+            Node::Elem(e) => children.push(Node::Elem(normalize(e))),
+            Node::Text(t) => {
+                if let Some(Node::Text(prev)) = children.last_mut() {
+                    prev.push_str(t);
+                } else {
+                    children.push(Node::Text(t.clone()));
+                }
+            }
+        }
+    }
+    Elem {
+        name: elem.name.clone(),
+        attrs: elem.attrs.clone(),
+        children,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn writer_reader_roundtrip(elem in elem_strategy()) {
+        let mut out = Vec::new();
+        {
+            let mut w = XmlWriter::new(&mut out);
+            write_elem(&mut w, &elem);
+            w.finish().unwrap();
+        }
+        let parsed = parse_tree(&out);
+        prop_assert_eq!(parsed, normalize(&elem));
+    }
+
+    #[test]
+    fn roundtrip_survives_tiny_read_chunks(elem in elem_strategy()) {
+        struct Trickle<'a>(&'a [u8], usize);
+        impl std::io::Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.1.min(self.0.len()).min(buf.len());
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut out = Vec::new();
+        {
+            let mut w = XmlWriter::new(&mut out);
+            write_elem(&mut w, &elem);
+            w.finish().unwrap();
+        }
+        // Parse with a 3-byte trickle and compare event streams.
+        let mut whole = SaxReader::from_bytes(&out);
+        let mut trickled = SaxReader::new(Trickle(&out, 3));
+        loop {
+            let a = whole.next_event().unwrap().map(|e| e.to_owned_event());
+            let b = trickled.next_event().unwrap().map(|e| e.to_owned_event());
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

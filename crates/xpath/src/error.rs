@@ -1,0 +1,50 @@
+//! Parse errors with character positions.
+
+use std::fmt;
+
+/// Result alias for query parsing.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+/// An error encountered while parsing an XPath query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the query string where the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XPath parse error at position {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(4, "expected name");
+        assert_eq!(
+            e.to_string(),
+            "XPath parse error at position 4: expected name"
+        );
+    }
+}

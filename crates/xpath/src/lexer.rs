@@ -1,0 +1,372 @@
+//! Tokenizer for the `XP{/,//,*,[]}` grammar.
+
+use crate::ast::CmpOp;
+use crate::error::{ParseError, ParseResult};
+
+/// One lexical token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `*`
+    Star,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `@`
+    At,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `.` (self step, only meaningful before `//` in predicates)
+    Dot,
+    /// An NCName (also used for the keywords `and` / `or`, which the
+    /// parser disambiguates by context).
+    Name(String),
+    /// `text()` recognised as one token.
+    TextFn,
+    /// A comparison operator.
+    Cmp(CmpOp),
+    /// A quoted string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::DoubleSlash => f.write_str("`//`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Pipe => f.write_str("`|`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Name(n) => write!(f, "name `{n}`"),
+            TokenKind::TextFn => f.write_str("`text()`"),
+            TokenKind::Cmp(op) => write!(f, "`{op}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Num(n) => write!(f, "number {n}"),
+            TokenKind::Eof => f.write_str("end of query"),
+        }
+    }
+}
+
+/// Tokenizes the whole query string.
+pub(crate) fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    TokenKind::DoubleSlash
+                } else {
+                    i += 1;
+                    TokenKind::Slash
+                }
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            b'[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            b'@' => {
+                i += 1;
+                TokenKind::At
+            }
+            b',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            b'|' => {
+                i += 1;
+                TokenKind::Pipe
+            }
+            b'.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                i += 1;
+                TokenKind::Dot
+            }
+            b'=' => {
+                i += 1;
+                TokenKind::Cmp(CmpOp::Eq)
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Cmp(CmpOp::Ne)
+                } else {
+                    return Err(ParseError::new(i, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Cmp(CmpOp::Le)
+                } else {
+                    i += 1;
+                    TokenKind::Cmp(CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Cmp(CmpOp::Ge)
+                } else {
+                    i += 1;
+                    TokenKind::Cmp(CmpOp::Gt)
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                let s = input[content_start..i].to_string();
+                i += 1;
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' | b'-' | b'.' => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_digit() || bytes[end] == b'.')
+                {
+                    end += 1;
+                }
+                let text = &input[i..end];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(i, format!("invalid number `{text}`")))?;
+                i = end;
+                TokenKind::Num(value)
+            }
+            _ if is_name_start(b) || b >= 0x80 => {
+                let mut end = i;
+                while end < bytes.len() && (is_name_char(bytes[end]) || bytes[end] >= 0x80) {
+                    end += 1;
+                }
+                let name = &input[i..end];
+                i = end;
+                // Recognise `text()` as a single token.
+                if name == "text" {
+                    let mut j = i;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'(') {
+                        let mut k = j + 1;
+                        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                            k += 1;
+                        }
+                        if bytes.get(k) == Some(&b')') {
+                            i = k + 1;
+                            tokens.push(Token {
+                                kind: TokenKind::TextFn,
+                                position: start,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                TokenKind::Name(name.to_string())
+            }
+            other => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        tokens.push(Token {
+            kind,
+            position: start,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.' || b == b':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_axes_and_names() {
+        assert_eq!(
+            kinds("//a/b"),
+            vec![
+                TokenKind::DoubleSlash,
+                TokenKind::Name("a".into()),
+                TokenKind::Slash,
+                TokenKind::Name("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_predicates_and_comparisons() {
+        assert_eq!(
+            kinds("[@id >= 10]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::At,
+                TokenKind::Name("id".into()),
+                TokenKind::Cmp(CmpOp::Ge),
+                TokenKind::Num(10.0),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_all_comparison_ops() {
+        assert_eq!(
+            kinds("= != < <= > >="),
+            vec![
+                TokenKind::Cmp(CmpOp::Eq),
+                TokenKind::Cmp(CmpOp::Ne),
+                TokenKind::Cmp(CmpOp::Lt),
+                TokenKind::Cmp(CmpOp::Le),
+                TokenKind::Cmp(CmpOp::Gt),
+                TokenKind::Cmp(CmpOp::Ge),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_string_literals_both_quotes() {
+        assert_eq!(
+            kinds(r#"'abc' "d'e""#),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("d'e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        assert_eq!(
+            kinds("3 3.25 -7 .5"),
+            vec![
+                TokenKind::Num(3.0),
+                TokenKind::Num(3.25),
+                TokenKind::Num(-7.0),
+                TokenKind::Num(0.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn text_function_is_one_token() {
+        assert_eq!(kinds("text()"), vec![TokenKind::TextFn, TokenKind::Eof]);
+        assert_eq!(kinds("text ( )"), vec![TokenKind::TextFn, TokenKind::Eof]);
+        // A plain element called `text` stays a name.
+        assert_eq!(
+            kinds("text/x"),
+            vec![
+                TokenKind::Name("text".into()),
+                TokenKind::Slash,
+                TokenKind::Name("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_before_slash_is_self() {
+        assert_eq!(
+            kinds(".//a"),
+            vec![
+                TokenKind::Dot,
+                TokenKind::DoubleSlash,
+                TokenKind::Name("a".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let toks = tokenize("//abc").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 2);
+    }
+
+    #[test]
+    fn errors_on_junk() {
+        assert!(tokenize("//a$").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("[a ! b]").is_err());
+        assert!(tokenize("3.2.1").is_err());
+    }
+}

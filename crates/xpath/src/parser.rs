@@ -1,0 +1,666 @@
+//! Recursive-descent parser producing the [`Path`] AST.
+
+use crate::ast::{Axis, Literal, NameTest, Path, PredExpr, Step, StrFunc, Value};
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses an absolute `XP{/,//,*,[]}` query such as `//a[d]//b[e]//c`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending position for any input
+/// outside the supported grammar (see the crate-level documentation).
+pub fn parse(input: &str) -> ParseResult<Path> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let path = parser.absolute_path()?;
+    parser.expect_eof()?;
+    Ok(path)
+}
+
+/// Parses a union of absolute queries: `//a/b | //c[d]`.
+///
+/// Returns one [`Path`] per branch (a single-element vec when the query
+/// has no `|`). Union semantics are set union of the branch results;
+/// the engine crate evaluates all branches in one streaming pass via its
+/// multi-query machine.
+pub fn parse_union(input: &str) -> ParseResult<Vec<Path>> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let mut branches = vec![parser.absolute_path()?];
+    while *parser.peek() == TokenKind::Pipe {
+        parser.advance();
+        branches.push(parser.absolute_path()?);
+    }
+    parser.expect_eof()?;
+    Ok(branches)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.index].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.index + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.index].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.index].kind.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), message)
+    }
+
+    fn expect_eof(&self) -> ParseResult<()> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected {} after query", self.peek())))
+        }
+    }
+
+    /// `('/' | '//') step (('/' | '//') step)* ('/@' NCName)?`
+    fn absolute_path(&mut self) -> ParseResult<Path> {
+        let mut steps = Vec::new();
+        let mut attr = None;
+        loop {
+            let axis = match self.peek() {
+                TokenKind::Slash => {
+                    self.advance();
+                    Axis::Child
+                }
+                TokenKind::DoubleSlash => {
+                    self.advance();
+                    Axis::Descendant
+                }
+                _ if steps.is_empty() => {
+                    return Err(self.error("a query must start with `/` or `//`"))
+                }
+                _ => break,
+            };
+            // A trailing `/@name` selects an attribute of the matched
+            // elements and must end the query.
+            if *self.peek() == TokenKind::At {
+                if axis == Axis::Descendant {
+                    return Err(self.error(
+                        "descendant-axis attribute selection (`//@a`) is not supported; \
+                         use `//*/@a`",
+                    ));
+                }
+                if steps.is_empty() {
+                    return Err(self.error("`/@attr` needs a preceding element step"));
+                }
+                self.advance();
+                attr = Some(self.attr_name()?);
+                break;
+            }
+            steps.push(self.step(axis)?);
+        }
+        Ok(Path { steps, attr })
+    }
+
+    /// `(NCName | '*') predicate*`
+    fn step(&mut self, axis: Axis) -> ParseResult<Step> {
+        let test = match self.peek().clone() {
+            TokenKind::Name(name) => {
+                self.advance();
+                NameTest::Tag(name)
+            }
+            TokenKind::Star => {
+                self.advance();
+                NameTest::Wildcard
+            }
+            other => return Err(self.error(format!("expected a name or `*`, found {other}"))),
+        };
+        let mut predicates = Vec::new();
+        while *self.peek() == TokenKind::LBracket {
+            self.advance();
+            let expr = self.or_expr()?;
+            match self.peek() {
+                TokenKind::RBracket => {
+                    self.advance();
+                }
+                other => return Err(self.error(format!("expected `]`, found {other}"))),
+            }
+            // Positional predicates are only XPath-faithful when applied
+            // before any filtering predicate, so `[n]` must come first
+            // (and at most once): `a[2][b]` is the 2nd `a` that has `b`
+            // in both readings, while `a[b][2]` would re-index.
+            if matches!(expr, PredExpr::Position(_)) && !predicates.is_empty() {
+                return Err(self.error(
+                    "a positional predicate must be the step's first predicate",
+                ));
+            }
+            predicates.push(expr);
+        }
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn or_expr(&mut self) -> ParseResult<PredExpr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Name(n) if n == "or") {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = PredExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> ParseResult<PredExpr> {
+        let mut lhs = self.term()?;
+        while matches!(self.peek(), TokenKind::Name(n) if n == "and") {
+            self.advance();
+            let rhs = self.term()?;
+            lhs = PredExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// `'(' or-expr ')' | position | str-fn | value (cmp literal)?`
+    fn term(&mut self) -> ParseResult<PredExpr> {
+        // Positional predicate `[n]`: a bare integer.
+        if let TokenKind::Num(n) = *self.peek() {
+            if n.fract() != 0.0 || n < 1.0 || n > u32::MAX as f64 {
+                return Err(self.error(format!(
+                    "positional predicate must be a positive integer, found {n}"
+                )));
+            }
+            self.advance();
+            if *self.peek() != TokenKind::RBracket {
+                return Err(self.error(
+                    "a positional predicate must stand alone (e.g. `[2]`)",
+                ));
+            }
+            return Ok(PredExpr::Position(n as u32));
+        }
+        // not(expr)
+        if matches!(self.peek(), TokenKind::Name(n) if n == "not")
+            && *self.peek2() == TokenKind::LParen
+        {
+            self.advance(); // not
+            self.advance(); // (
+            let inner = self.or_expr()?;
+            if *self.peek() != TokenKind::RParen {
+                return Err(self.error(format!("expected `)`, found {}", self.peek())));
+            }
+            self.advance();
+            return Ok(PredExpr::Not(Box::new(inner)));
+        }
+        // count(path) cmp n
+        if matches!(self.peek(), TokenKind::Name(n) if n == "count")
+            && *self.peek2() == TokenKind::LParen
+        {
+            self.advance(); // count
+            self.advance(); // (
+            let value = self.value()?;
+            if value.attr.is_some() || value.text {
+                return Err(self.error("count() takes an element path"));
+            }
+            if value.steps.len() != 1 {
+                return Err(self.error(
+                    "count() supports a single location step (e.g. `count(b)`, \
+                     `count(.//b)`)",
+                ));
+            }
+            if *self.peek() != TokenKind::RParen {
+                return Err(self.error(format!("expected `)`, found {}", self.peek())));
+            }
+            self.advance();
+            let TokenKind::Cmp(op) = *self.peek() else {
+                return Err(self.error("count() must be compared, e.g. `count(b) >= 2`"));
+            };
+            self.advance();
+            let n = match self.peek().clone() {
+                TokenKind::Num(n) if n.fract() == 0.0 && n >= 0.0 && n <= u32::MAX as f64 => {
+                    self.advance();
+                    n as u32
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "count() comparisons take a non-negative integer, found {other}"
+                    )))
+                }
+            };
+            return Ok(PredExpr::CountCmp(value, op, n));
+        }
+        // String functions: contains / starts-with / ends-with.
+        if let TokenKind::Name(name) = self.peek() {
+            let func = match name.as_str() {
+                "contains" => Some(StrFunc::Contains),
+                "starts-with" => Some(StrFunc::StartsWith),
+                "ends-with" => Some(StrFunc::EndsWith),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if *self.peek2() == TokenKind::LParen {
+                    self.advance(); // name
+                    self.advance(); // (
+                    let value = self.value()?;
+                    if *self.peek() != TokenKind::Comma {
+                        return Err(self.error(format!(
+                            "expected `,` in {}(), found {}",
+                            func.name(),
+                            self.peek()
+                        )));
+                    }
+                    self.advance();
+                    let arg = match self.peek().clone() {
+                        TokenKind::Str(s) => {
+                            self.advance();
+                            s
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "expected a string literal, found {other}"
+                            )))
+                        }
+                    };
+                    if *self.peek() != TokenKind::RParen {
+                        return Err(self.error(format!("expected `)`, found {}", self.peek())));
+                    }
+                    self.advance();
+                    return Ok(PredExpr::StrFn(func, value, arg));
+                }
+            }
+        }
+        if *self.peek() == TokenKind::LParen {
+            self.advance();
+            let inner = self.or_expr()?;
+            match self.peek() {
+                TokenKind::RParen => {
+                    self.advance();
+                }
+                other => return Err(self.error(format!("expected `)`, found {other}"))),
+            }
+            return Ok(inner);
+        }
+        let value = self.value()?;
+        if let TokenKind::Cmp(op) = *self.peek() {
+            self.advance();
+            let literal = match self.peek().clone() {
+                TokenKind::Str(s) => {
+                    self.advance();
+                    Literal::String(s)
+                }
+                TokenKind::Num(n) => {
+                    self.advance();
+                    Literal::Number(n)
+                }
+                other => {
+                    return Err(
+                        self.error(format!("expected a string or number literal, found {other}"))
+                    )
+                }
+            };
+            Ok(PredExpr::Compare(value, op, literal))
+        } else {
+            Ok(PredExpr::Exists(value))
+        }
+    }
+
+    /// `'@' NCName | 'text()' | ['.'] rel-path ('/@' NCName | '/text()')?`
+    fn value(&mut self) -> ParseResult<Value> {
+        match self.peek().clone() {
+            TokenKind::At => {
+                self.advance();
+                let name = self.attr_name()?;
+                return Ok(Value::attr(name));
+            }
+            TokenKind::TextFn => {
+                self.advance();
+                return Ok(Value::text());
+            }
+            TokenKind::Dot => {
+                self.advance();
+                // `.` alone would be the context node; we only support it
+                // as the head of `.//...`.
+                if *self.peek() != TokenKind::DoubleSlash && *self.peek() != TokenKind::Slash {
+                    return Err(self.error("`.` must be followed by `/` or `//` in a predicate"));
+                }
+            }
+            TokenKind::DoubleSlash | TokenKind::Slash => {
+                return Err(self.error(
+                    "absolute paths are not allowed in predicates; use a relative path \
+                     (e.g. `[d]` or `[.//d]`)",
+                ));
+            }
+            _ => {}
+        }
+        // Relative path.
+        let mut steps = Vec::new();
+        let mut attr = None;
+        let mut text = false;
+        loop {
+            let axis = if steps.is_empty() {
+                match self.peek() {
+                    // After a consumed leading `.`.
+                    TokenKind::DoubleSlash => {
+                        self.advance();
+                        Axis::Descendant
+                    }
+                    TokenKind::Slash => {
+                        self.advance();
+                        Axis::Child
+                    }
+                    _ => Axis::Child,
+                }
+            } else {
+                match self.peek() {
+                    TokenKind::Slash => {
+                        self.advance();
+                        Axis::Child
+                    }
+                    TokenKind::DoubleSlash => {
+                        self.advance();
+                        Axis::Descendant
+                    }
+                    _ => break,
+                }
+            };
+            // Trailing `@attr` / `text()` terminate the path.
+            match self.peek().clone() {
+                TokenKind::At => {
+                    self.advance();
+                    attr = Some(self.attr_name()?);
+                    break;
+                }
+                TokenKind::TextFn => {
+                    self.advance();
+                    text = true;
+                    break;
+                }
+                _ => {}
+            }
+            steps.push(self.step(axis)?);
+        }
+        if steps.is_empty() && attr.is_none() && !text {
+            return Err(self.error(format!(
+                "expected a relative path, `@attr` or `text()`, found {}",
+                self.peek()
+            )));
+        }
+        Ok(Value { steps, attr, text })
+    }
+
+    fn attr_name(&mut self) -> ParseResult<String> {
+        match self.peek().clone() {
+            TokenKind::Name(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected an attribute name, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn roundtrip(q: &str) {
+        let parsed = parse(q).unwrap();
+        assert_eq!(parsed.to_string(), q, "display should round-trip");
+        assert_eq!(parse(&parsed.to_string()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parses_the_papers_queries() {
+        // Q1 from the paper (figure 1(b)).
+        let q1 = parse("//a[d]//b[e]//c").unwrap();
+        assert_eq!(q1.steps.len(), 3);
+        assert_eq!(q1.steps[0].axis, Axis::Descendant);
+        assert_eq!(q1.steps[0].predicates.len(), 1);
+        assert_eq!(q1.size(), 5);
+        // The variant with child axis from the introduction.
+        let q = parse("//a[d]/b[e]//c").unwrap();
+        assert_eq!(q.steps[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn simple_paths_roundtrip() {
+        for q in ["/a", "//a", "/a/b/c", "//a//b//c", "/a//b/c", "//*/a/*"] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn predicates_roundtrip() {
+        for q in [
+            "//a[d]",
+            "//a[d][e]",
+            "//a[d/e]",
+            "//a[d//e]",
+            "//a[.//d]",
+            "//a[@id]",
+            "//a[text() = 'x']",
+            "//a[@id = 'p1']/b",
+            "//a[price >= 10]",
+            "//a[b/@id != 'x']",
+            "//a[b/text() = 'x']",
+            "//a[b[c][d]]/e",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn boolean_connectives_parse_with_precedence() {
+        let q = parse("//a[b and c or d]").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::Or(lhs, _) => {
+                assert!(matches!(**lhs, PredExpr::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse("//a[b and (c or d)]").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::And(_, rhs) => {
+                assert!(matches!(**rhs, PredExpr::Or(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_are_not_reserved_as_names() {
+        // Elements named `and` / `or` still work as steps.
+        let q = parse("//and/or").unwrap();
+        assert_eq!(q.to_string(), "//and/or");
+    }
+
+    #[test]
+    fn comparisons_parse_every_operator() {
+        for (text, op) in [
+            ("=", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+        ] {
+            let q = parse(&format!("//a[@x {text} 5]")).unwrap();
+            match &q.steps[0].predicates[0] {
+                PredExpr::Compare(_, parsed, _) => assert_eq!(*parsed, op),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_predicates_parse() {
+        let q = parse("//open_auction[bidder[increase > 20]]/price").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::Exists(v) => {
+                assert_eq!(v.steps.len(), 1);
+                assert_eq!(v.steps[0].predicates.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcards_allowed_everywhere() {
+        roundtrip("//*[*]/a");
+        let q = parse("//*[*//b]").unwrap();
+        assert_eq!(q.steps[0].test, NameTest::Wildcard);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "a",          // must start with / or //
+            "/",          // missing step
+            "//a[",       // unterminated predicate
+            "//a[]",      // empty predicate
+            "//a[@]",     // missing attribute name
+            "//a[b=]",    // missing literal
+            "//a[=5]",    // missing value
+            "//a[//b]",   // absolute path in predicate
+            "//a]",       // stray bracket
+            "//a[b](c)",  // junk after predicate
+            "//a[.]",     // bare `.`
+            "//a[(b]",    // unbalanced paren
+            "//a[b or]",  // missing operand
+        ] {
+            assert!(parse(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_meaningful() {
+        let err = parse("//a[@]").unwrap_err();
+        assert_eq!(err.position, 5);
+        let err = parse("x").unwrap_err();
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn number_literals_parse() {
+        let q = parse("//item[price <= 99.5]").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::Compare(_, _, Literal::Number(n)) => assert_eq!(*n, 99.5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_value_paths_with_attr_and_text() {
+        let q = parse("//a[b/c/@id = 'x']").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::Compare(v, _, _) => {
+                assert_eq!(v.steps.len(), 2);
+                assert_eq!(v.attr.as_deref(), Some("id"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse("//a[b//c/text() = 'x']").unwrap();
+        match &q.steps[0].predicates[0] {
+            PredExpr::Compare(v, _, _) => {
+                assert_eq!(v.steps.len(), 2);
+                assert!(v.text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(
+            parse("// a [ d ] / b").unwrap(),
+            parse("//a[d]/b").unwrap()
+        );
+    }
+}
+
+#[cfg(test)]
+mod attr_path_tests {
+    use super::*;
+
+    #[test]
+    fn trailing_attribute_selector_parses_and_roundtrips() {
+        let q = parse("//book/@year").unwrap();
+        assert_eq!(q.attr.as_deref(), Some("year"));
+        assert_eq!(q.steps.len(), 1);
+        assert_eq!(q.to_string(), "//book/@year");
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+        let q = parse("//a[b]/c/@id").unwrap();
+        assert_eq!(q.attr.as_deref(), Some("id"));
+        assert_eq!(q.steps.len(), 2);
+    }
+
+    #[test]
+    fn attribute_selector_must_terminate_the_query() {
+        assert!(parse("//a/@id/b").is_err());
+        assert!(parse("//a/@id[b]").is_err());
+    }
+
+    #[test]
+    fn attribute_selector_restrictions() {
+        assert!(parse("//@id").is_err(), "needs an element step");
+        assert!(parse("/@id").is_err());
+        assert!(parse("//a//@id").is_err(), "descendant axis to attribute");
+        assert!(parse("//a/@").is_err(), "missing name");
+    }
+
+    #[test]
+    fn attr_query_is_not_predicate_free() {
+        assert!(!parse("//a/@id").unwrap().is_predicate_free());
+        assert!(parse("//a").unwrap().is_predicate_free());
+    }
+
+    #[test]
+    fn attr_counts_toward_query_size() {
+        assert_eq!(parse("//a/@id").unwrap().size(), 2);
+        assert_eq!(parse("//a").unwrap().size(), 1);
+    }
+}
+
+#[cfg(test)]
+mod union_tests {
+    use super::*;
+
+    #[test]
+    fn unions_split_into_branches() {
+        let branches = parse_union("//a/b | /c[d] | //e/@f").unwrap();
+        assert_eq!(branches.len(), 3);
+        assert_eq!(branches[0].to_string(), "//a/b");
+        assert_eq!(branches[1].to_string(), "/c[d]");
+        assert_eq!(branches[2].to_string(), "//e/@f");
+    }
+
+    #[test]
+    fn single_query_is_one_branch() {
+        assert_eq!(parse_union("//a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_unions_error() {
+        assert!(parse_union("//a |").is_err());
+        assert!(parse_union("| //a").is_err());
+        assert!(parse_union("//a || //b").is_err());
+        // `|` inside plain parse() is rejected.
+        assert!(parse("//a | //b").is_err());
+    }
+}

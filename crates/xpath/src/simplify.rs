@@ -1,0 +1,193 @@
+//! Conservative query normalization.
+//!
+//! Production XPath processors normalize queries before compilation; the
+//! streaming engines benefit because every removed predicate is a
+//! branch-match slot that no longer has to be tracked per stack entry.
+//! Only *obviously* equivalence-preserving rules are applied:
+//!
+//! 1. duplicate predicates on one step are dropped (`a[b][b]` → `a[b]`);
+//! 2. duplicate operands of `and`/`or` collapse (`[b and b]` → `[b]`);
+//! 3. `X and (X or Y)` → `X`, `X or (X and Y)` → `X` (absorption);
+//! 4. a predicate implied by another on the same step is dropped:
+//!    `[b][b = 'x']` → `[b = 'x']` (existence is implied by the
+//!    comparison, which in XPath requires a selected node).
+//!
+//! Every rule is validated by the equivalence property test in
+//! `tests/` (simplified and original queries must select the same nodes
+//! on random documents).
+
+use crate::ast::{Path, PredExpr, Step, Value};
+
+/// Returns a simplified, equivalent query.
+pub fn simplify(path: &Path) -> Path {
+    Path {
+        steps: path.steps.iter().map(simplify_step).collect(),
+        attr: path.attr.clone(),
+    }
+}
+
+fn simplify_step(step: &Step) -> Step {
+    let mut predicates: Vec<PredExpr> = step
+        .predicates
+        .iter()
+        .map(simplify_expr)
+        .collect();
+    // Rule 1: drop duplicates (keep first occurrence).
+    let mut seen: Vec<PredExpr> = Vec::new();
+    predicates.retain(|p| {
+        if seen.contains(p) {
+            false
+        } else {
+            seen.push(p.clone());
+            true
+        }
+    });
+    // Rule 4: drop `Exists(v)` when a comparison on the same value is
+    // also present (the comparison implies existence).
+    let comparisons: Vec<Value> = predicates
+        .iter()
+        .filter_map(|p| match p {
+            PredExpr::Compare(v, _, _) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    predicates.retain(|p| match p {
+        PredExpr::Exists(v) => !comparisons.contains(v),
+        _ => true,
+    });
+    Step {
+        axis: step.axis,
+        test: step.test.clone(),
+        predicates,
+    }
+}
+
+fn simplify_expr(expr: &PredExpr) -> PredExpr {
+    match expr {
+        PredExpr::Exists(v) => PredExpr::Exists(simplify_value(v)),
+        PredExpr::Compare(v, op, lit) => PredExpr::Compare(simplify_value(v), *op, lit.clone()),
+        PredExpr::StrFn(func, v, arg) => {
+            PredExpr::StrFn(*func, simplify_value(v), arg.clone())
+        }
+        PredExpr::Position(n) => PredExpr::Position(*n),
+        PredExpr::CountCmp(v, op, n) => PredExpr::CountCmp(simplify_value(v), *op, *n),
+        PredExpr::Not(inner) => {
+            let inner = simplify_expr(inner);
+            // Double negation cancels.
+            if let PredExpr::Not(x) = inner {
+                *x
+            } else {
+                PredExpr::Not(Box::new(inner))
+            }
+        }
+        PredExpr::And(a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            if a == b {
+                return a; // rule 2
+            }
+            // Rule 3 (absorption): X and (X or Y) == X.
+            if let PredExpr::Or(x, y) = &b {
+                if **x == a || **y == a {
+                    return a;
+                }
+            }
+            if let PredExpr::Or(x, y) = &a {
+                if **x == b || **y == b {
+                    return b;
+                }
+            }
+            PredExpr::And(Box::new(a), Box::new(b))
+        }
+        PredExpr::Or(a, b) => {
+            let a = simplify_expr(a);
+            let b = simplify_expr(b);
+            if a == b {
+                return a; // rule 2
+            }
+            // Rule 3 (absorption): X or (X and Y) == X.
+            if let PredExpr::And(x, y) = &b {
+                if **x == a || **y == a {
+                    return a;
+                }
+            }
+            if let PredExpr::And(x, y) = &a {
+                if **x == b || **y == b {
+                    return b;
+                }
+            }
+            PredExpr::Or(Box::new(a), Box::new(b))
+        }
+    }
+}
+
+fn simplify_value(value: &Value) -> Value {
+    Value {
+        steps: value.steps.iter().map(simplify_step).collect(),
+        attr: value.attr.clone(),
+        text: value.text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(input: &str, expected: &str) {
+        let simplified = simplify(&parse(input).unwrap());
+        assert_eq!(simplified.to_string(), expected, "input {input}");
+    }
+
+    #[test]
+    fn duplicate_predicates_drop() {
+        roundtrip("//a[b][b]", "//a[b]");
+        roundtrip("//a[b][c][b]", "//a[b][c]");
+        roundtrip("//a[@x][@x]/c", "//a[@x]/c");
+    }
+
+    #[test]
+    fn duplicate_boolean_operands_collapse() {
+        roundtrip("//a[b and b]", "//a[b]");
+        roundtrip("//a[b or b]", "//a[b]");
+        roundtrip("//a[(b or c) and (b or c)]", "//a[(b or c)]");
+    }
+
+    #[test]
+    fn absorption() {
+        roundtrip("//a[b and (b or c)]", "//a[b]");
+        roundtrip("//a[(b or c) and b]", "//a[b]");
+        roundtrip("//a[b or (b and c)]", "//a[b]");
+        roundtrip("//a[(b and c) or b]", "//a[b]");
+    }
+
+    #[test]
+    fn comparison_implies_existence() {
+        roundtrip("//a[b][b = 'x']", "//a[b = 'x']");
+        roundtrip("//a[@y][@y > 3]", "//a[@y > 3]");
+        // But different values must both survive.
+        roundtrip("//a[b][c = 'x']", "//a[b][c = 'x']");
+    }
+
+    #[test]
+    fn nested_predicates_simplify_recursively() {
+        roundtrip("//a[b[c][c]]", "//a[b[c]]");
+        roundtrip("//a[b[c and c]/d]", "//a[b[c]/d]");
+    }
+
+    #[test]
+    fn already_minimal_queries_unchanged() {
+        for q in ["//a", "//a[b]/c", "/a/*/b[@x = '1']", "//a[(b and c)]"] {
+            roundtrip(q, q);
+        }
+    }
+
+    #[test]
+    fn distinct_predicates_survive() {
+        roundtrip("//a[b][c]", "//a[b][c]");
+        roundtrip("//a[b and c]", "//a[(b and c)]");
+        roundtrip("//a[b or c]", "//a[(b or c)]");
+        // Same path, different terminal: both kept.
+        roundtrip("//a[b/@x][b]", "//a[b/@x][b]");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based test: any AST printed by `Display` parses back to the
+//! identical AST.
+
+use proptest::prelude::*;
+use twigm_xpath::{parse, Axis, CmpOp, Literal, NameTest, Path, PredExpr, Step, StrFunc, Value};
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::Child), Just(Axis::Descendant)]
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Avoid `and`/`or`/`text` which are contextual keywords, and keep the
+    // alphabet small so steps collide (interesting for engines reusing
+    // these queries).
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("cd".to_string()),
+        Just("e_f".to_string()),
+        Just("g-1".to_string()),
+    ]
+}
+
+fn test_strategy() -> impl Strategy<Value = NameTest> {
+    prop_oneof![
+        3 => name_strategy().prop_map(NameTest::Tag),
+        1 => Just(NameTest::Wildcard),
+    ]
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        "[a-z0-9 ]{0,8}".prop_map(Literal::String),
+        (0u32..10_000).prop_map(|n| Literal::Number(n as f64)),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Predicate expressions, recursively: exists / compare / and / or over
+/// values whose relative paths contain (depth-bounded) nested predicates.
+fn pred_strategy(depth: u32) -> BoxedStrategy<PredExpr> {
+    let value = value_strategy(depth);
+    let strfunc = prop_oneof![
+        Just(StrFunc::Contains),
+        Just(StrFunc::StartsWith),
+        Just(StrFunc::EndsWith),
+    ];
+    let leaf = prop_oneof![
+        3 => value.clone().prop_map(PredExpr::Exists),
+        2 => (value.clone(), cmp_strategy(), literal_strategy())
+            .prop_map(|(v, op, lit)| PredExpr::Compare(v, op, lit)),
+        1 => (strfunc, value, "[a-z0-9 ]{0,6}")
+            .prop_map(|(f, v, arg)| PredExpr::StrFn(f, v, arg)),
+        1 => (step_strategy(0), cmp_strategy(), 0u32..5)
+            .prop_map(|(step, op, n)| PredExpr::CountCmp(Value::path(vec![step]), op, n)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = pred_strategy(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PredExpr::And(Box::new(a), Box::new(b))),
+            1 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PredExpr::Or(Box::new(a), Box::new(b))),
+            1 => inner.prop_map(|a| PredExpr::Not(Box::new(a))),
+        ]
+        .boxed()
+    }
+}
+
+fn step_strategy(depth: u32) -> BoxedStrategy<Step> {
+    let preds = if depth == 0 {
+        Just(Vec::new()).boxed()
+    } else {
+        proptest::collection::vec(pred_strategy(depth - 1), 0..2).boxed()
+    };
+    let pos = proptest::option::of(1u32..5);
+    (axis_strategy(), test_strategy(), preds, pos)
+        .prop_map(|(axis, test, mut predicates, pos)| {
+            if axis == Axis::Child {
+                if let Some(n) = pos {
+                    predicates.insert(0, PredExpr::Position(n));
+                }
+            }
+            Step {
+                axis,
+                test,
+                predicates,
+            }
+        })
+        .boxed()
+}
+
+fn value_strategy(depth: u32) -> BoxedStrategy<Value> {
+    let steps = proptest::collection::vec(step_strategy(depth), 0..3);
+    (steps, proptest::option::of(name_strategy()), any::<bool>())
+        .prop_map(|(mut steps, attr, text)| {
+            // `Display` prints a leading `.//` only for descendant-first
+            // paths; a child-first axis is implicit, which is fine. An
+            // empty value must select something.
+            if steps.is_empty() && attr.is_none() && !text {
+                steps.push(Step::new(Axis::Child, NameTest::Tag("a".into())));
+            }
+            let text = text && attr.is_none();
+            Value { steps, attr, text }
+        })
+        .boxed()
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    (
+        proptest::collection::vec(step_strategy(2), 1..5),
+        proptest::option::of(name_strategy()),
+    )
+        .prop_map(|(steps, attr)| Path { steps, attr })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(path in path_strategy()) {
+        let printed = path.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, path);
+    }
+}

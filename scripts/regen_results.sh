@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every reference experiment output under docs/results/.
+# Usage: scripts/regen_results.sh [--full]   (default: 0.25 scale)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p twigm-bench --bins
+rm -rf target/twigm-datasets
+mkdir -p docs/results
+for bin in fig5_datasets fig6_queries fig7_time fig8_memory \
+           fig9_scale_time fig10_scale_memory \
+           ablation_encoding ablation_complexity ablation_filtering \
+           ablation_buffering; do
+  echo ">> $bin"
+  if ! ./target/release/$bin "$@" --repeats 3 --timeout 180 \
+        > "docs/results/$bin.txt" 2>&1; then
+    # Ablation binaries take no common flags.
+    ./target/release/$bin > "docs/results/$bin.txt" 2>&1
+  fi
+done
+echo "done: docs/results/"

@@ -1,0 +1,165 @@
+//! Cross-engine agreement on the paper's generated datasets: every
+//! streaming engine must return exactly the node set the in-memory DOM
+//! oracle computes, for every benchmark query.
+
+use twigm::engine::run_engine;
+use twigm::{Engine, PathM, TwigM};
+use twigm_baselines::inmem::{Document, InMemEval};
+use twigm_baselines::{LazyDfa, NaiveEnum};
+use twigm_datagen::Dataset;
+use twigm_sax::NodeId;
+use twigm_xpath::parse;
+
+fn sorted(ids: Vec<NodeId>) -> Vec<u64> {
+    let mut ids: Vec<u64> = ids.into_iter().map(NodeId::get).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn check_dataset(dataset: Dataset, queries: &[&str]) {
+    let (xml, _) = dataset.generate_vec(150_000);
+    let doc = Document::parse_bytes(&xml).unwrap();
+    let mut oracle = InMemEval::new(&doc);
+    for text in queries {
+        let query = parse(text).unwrap();
+        let expected = sorted(oracle.evaluate(&query));
+
+        let twig = sorted(run_engine(TwigM::new(&query).unwrap(), &xml[..]).unwrap().0);
+        assert_eq!(twig, expected, "TwigM vs oracle on {text} ({dataset:?})");
+
+        let auto = sorted(run_engine(Engine::new(&query).unwrap(), &xml[..]).unwrap().0);
+        assert_eq!(auto, expected, "Engine vs oracle on {text} ({dataset:?})");
+
+        let naive = sorted(
+            run_engine(NaiveEnum::new(&query).unwrap(), &xml[..])
+                .unwrap()
+                .0,
+        );
+        assert_eq!(naive, expected, "NaiveEnum vs oracle on {text} ({dataset:?})");
+
+        if query.is_predicate_free() {
+            let path = sorted(run_engine(PathM::new(&query).unwrap(), &xml[..]).unwrap().0);
+            assert_eq!(path, expected, "PathM vs oracle on {text} ({dataset:?})");
+            let dfa = sorted(run_engine(LazyDfa::new(&query).unwrap(), &xml[..]).unwrap().0);
+            assert_eq!(dfa, expected, "LazyDfa vs oracle on {text} ({dataset:?})");
+        }
+    }
+}
+
+#[test]
+fn book_queries_agree() {
+    check_dataset(
+        Dataset::Book,
+        &[
+            "/bib/book/title",
+            "//section//figure",
+            "/bib/*/title",
+            "//section/*//image",
+            "//section[title]/p",
+            "//section[figure]//title",
+            "//book[@year]//section[@id]/title",
+            "//book[@year = '1999']/title",
+            "//section[figure[image]]//p",
+            "//book//*[title][figure/@width]/p",
+            "//section[@difficulty > 5]//figure",
+            "//book[author/last]//p",
+        ],
+    );
+}
+
+#[test]
+fn auction_queries_agree() {
+    check_dataset(
+        Dataset::Auction,
+        &[
+            "/site//regions/africa/item/name",
+            "//people/person[@id = 'person0']/name",
+            "//open_auction[bidder]/current",
+            "//item[payment]/name",
+            "//person[profile/@income > 50000]/name",
+            "//open_auction[bidder/increase > 20]/itemref",
+            "//description//listitem//text",
+            "//closed_auction[annotation]/price",
+            "//listitem//listitem",
+            "//person[profile[interest]]/name",
+        ],
+    );
+}
+
+#[test]
+fn protein_queries_agree() {
+    check_dataset(
+        Dataset::Protein,
+        &[
+            "/ProteinDatabase/ProteinEntry/protein/name",
+            "//reference//author",
+            "/ProteinDatabase/*/header/uid",
+            "//refinfo/*/author",
+            "//ProteinEntry[keywords]/protein",
+            "//refinfo[year]/title",
+            "//ProteinEntry[@id]//gene",
+            "//accinfo[mol-type = 'mRNA']",
+            "//ProteinEntry[reference/refinfo[authors]]//keyword",
+            "//*[header][summary/type = 'protein']/sequence",
+        ],
+    );
+}
+
+#[test]
+fn recursive_stress_agrees() {
+    // The adversarial shape for streaming engines: heavy tag repetition.
+    let mut xml = Vec::from(&b"<root>"[..]);
+    let mut count = 0;
+    let mut seed = 100;
+    while count < 4_000 {
+        let mut tree = Vec::new();
+        count += twigm_datagen::recursive::random_recursive(seed, 12, 3, &["x", "y", "z"], &mut tree)
+            .unwrap();
+        xml.extend_from_slice(&tree);
+        seed += 1;
+    }
+    xml.extend_from_slice(b"</root>");
+    let doc = Document::parse_bytes(&xml).unwrap();
+    let mut oracle = InMemEval::new(&doc);
+    for text in [
+        "//x//y//z",
+        "//x[y]//z",
+        "//x[y][z]//y",
+        "//x//x//x",
+        "//x[y/z]//y",
+        "//*[x]//y",
+        "//x[.//z]//y",
+        "//z[x or y]",
+    ] {
+        let query = parse(text).unwrap();
+        let expected = sorted(oracle.evaluate(&query));
+        let twig = sorted(run_engine(TwigM::new(&query).unwrap(), &xml[..]).unwrap().0);
+        assert_eq!(twig, expected, "TwigM vs oracle on {text}");
+        let naive = sorted(
+            run_engine(NaiveEnum::new(&query).unwrap(), &xml[..])
+                .unwrap()
+                .0,
+        );
+        assert_eq!(naive, expected, "NaiveEnum vs oracle on {text}");
+    }
+}
+
+#[test]
+fn union_evaluation_matches_per_branch_oracle() {
+    let (xml, _) = Dataset::Book.generate_vec(100_000);
+    let branches =
+        twigm_xpath::parse_union("//section[title]/p | //figure/image | //book/author/last")
+            .unwrap();
+    let union = twigm::evaluate_union(&branches, &xml[..]).unwrap();
+    let doc = Document::parse_bytes(&xml).unwrap();
+    let mut oracle = InMemEval::new(&doc);
+    let mut expected: Vec<u64> = branches
+        .iter()
+        .flat_map(|b| oracle.evaluate(b))
+        .map(NodeId::get)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    let union: Vec<u64> = union.into_iter().map(NodeId::get).collect();
+    assert_eq!(union, expected);
+}

@@ -1,0 +1,93 @@
+//! End-to-end tests of the XML-fragment output mode over generated
+//! datasets: every fragment must re-parse, correspond 1:1 with the id
+//! results, and open with the element the query returns.
+
+use twigm::engine::run_engine;
+use twigm::fragments::FragmentCollector;
+use twigm::TwigM;
+use twigm_datagen::Dataset;
+use twigm_sax::{Event, SaxReader};
+use twigm_xpath::parse;
+
+fn fragments_for(query: &str, xml: &[u8]) -> Vec<(u64, String)> {
+    let q = parse(query).unwrap();
+    let collector = FragmentCollector::new(TwigM::new(&q).unwrap());
+    let (ids, mut collector) = run_engine(collector, xml).unwrap();
+    let frags = collector.take_fragments();
+    assert_eq!(ids.len(), frags.len(), "one fragment per result ({query})");
+    frags.into_iter().map(|(id, f)| (id.get(), f)).collect()
+}
+
+#[test]
+fn fragments_reparse_and_open_with_the_return_tag() {
+    let (xml, _) = Dataset::Book.generate_vec(120_000);
+    let cases = [
+        ("//section[figure]//title", "title"),
+        ("//book[@year]/title", "title"),
+        ("//section[title]/p", "p"),
+        ("//figure", "figure"),
+    ];
+    for (query, tag) in cases {
+        let frags = fragments_for(query, &xml);
+        assert!(!frags.is_empty(), "{query} found nothing");
+        for (_, frag) in &frags {
+            // Reparse each fragment as a standalone document.
+            let mut reader = SaxReader::from_bytes(frag.as_bytes());
+            let first = reader.next_event().unwrap().expect("non-empty fragment");
+            match first {
+                Event::Start(t) => assert_eq!(t.name(), tag, "{query}"),
+                other => panic!("fragment starts with {other:?}"),
+            }
+            while reader.next_event().unwrap().is_some() {}
+        }
+    }
+}
+
+#[test]
+fn fragment_ids_match_plain_evaluation() {
+    let (xml, _) = Dataset::Auction.generate_vec(120_000);
+    for query in [
+        "//open_auction[bidder]/current",
+        "//person[profile/@income > 50000]/name",
+        "//description//listitem//text",
+    ] {
+        let frags = fragments_for(query, &xml);
+        let plain = twigm::evaluate(&parse(query).unwrap(), &xml[..]).unwrap();
+        let mut frag_ids: Vec<u64> = frags.iter().map(|(id, _)| *id).collect();
+        let mut plain_ids: Vec<u64> = plain.into_iter().map(|id| id.get()).collect();
+        frag_ids.sort_unstable();
+        plain_ids.sort_unstable();
+        assert_eq!(frag_ids, plain_ids, "{query}");
+    }
+}
+
+#[test]
+fn fragment_content_matches_source_subtree() {
+    // Hand-checkable case: the fragment must reproduce the subtree,
+    // including attribute values and escaped text.
+    let xml = br#"<r><item id="7"><name>A &amp; B</name><sub><deep/></sub></item><item/></r>"#;
+    let frags = fragments_for("//item[name]", xml);
+    assert_eq!(frags.len(), 1);
+    assert_eq!(
+        frags[0].1,
+        r#"<item id="7"><name>A &amp; B</name><sub><deep></deep></sub></item>"#
+    );
+}
+
+#[test]
+fn nested_matches_produce_nested_fragments() {
+    let xml = b"<r><s><t/><s><t/></s></s></r>";
+    let frags = fragments_for("//s[t]", xml);
+    assert_eq!(frags.len(), 2);
+    let texts: Vec<&str> = frags.iter().map(|(_, f)| f.as_str()).collect();
+    assert!(texts.contains(&"<s><t></t></s>"));
+    assert!(texts.contains(&"<s><t></t><s><t></t></s></s>"));
+}
+
+#[test]
+fn no_fragments_for_failed_candidates() {
+    let (xml, _) = Dataset::Protein.generate_vec(60_000);
+    // A query that can never match (tag not in the schema).
+    let frags = fragments_for("//ProteinEntry[nonexistent]/protein", &xml);
+    assert!(frags.is_empty());
+}

@@ -1,0 +1,95 @@
+//! Moderate-scale stress tests: multi-megabyte generated datasets
+//! streamed end-to-end, asserting the paper's resource story (constant
+//! state, linear work) rather than just answers.
+
+use twigm::engine::run_engine;
+use twigm::{StreamEngine, TwigM};
+use twigm_datagen::Dataset;
+use twigm_xpath::parse;
+
+/// ~8 MB of protein records: bounded state, work linear in events.
+#[test]
+fn protein_8mb_streams_in_constant_state() {
+    let (xml, report) = Dataset::Protein.generate_vec(8 * 1024 * 1024);
+    assert!(report.bytes >= 8 * 1024 * 1024);
+    let query = parse("//ProteinEntry[reference/refinfo[authors]]//keyword").unwrap();
+    let mut engine = TwigM::new(&query).unwrap();
+    let (ids, _) = run_engine(&mut engine, &xml[..]).unwrap();
+    assert!(!ids.is_empty());
+    let stats = engine.stats();
+    // Depth 6 data, 5 machine nodes: peak entries must stay tiny.
+    assert!(
+        stats.peak_entries <= 30,
+        "peak {} entries on shallow data",
+        stats.peak_entries
+    );
+    // Theorem 4.4: work per event bounded by a small constant here.
+    assert!(
+        stats.work() < stats.events() * 8,
+        "work {} for {} events",
+        stats.work(),
+        stats.events()
+    );
+}
+
+/// Recursive book data at 4 MB: recursive sections, candidate buffering,
+/// still bounded by |Q|·R.
+#[test]
+fn book_4mb_peak_entries_bounded_by_q_times_depth() {
+    let (xml, report) = Dataset::Book.generate_vec(4 * 1024 * 1024);
+    let query = parse("//section[figure[image]]//p").unwrap();
+    let mut engine = TwigM::new(&query).unwrap();
+    let machine_size = engine.machine().len() as u64;
+    let (ids, _) = run_engine(&mut engine, &xml[..]).unwrap();
+    assert!(!ids.is_empty());
+    assert!(
+        engine.stats().peak_entries <= machine_size * report.max_depth as u64,
+        "peak {} > |Q|*R = {}*{}",
+        engine.stats().peak_entries,
+        machine_size,
+        report.max_depth
+    );
+}
+
+/// The figure-1 worst case at n = 2000: four million pattern matches
+/// encoded in 4001 stack entries, evaluated in well under a second.
+#[test]
+fn figure1_n2000_stays_linear() {
+    let xml = twigm_datagen::recursive::figure1_string(2000);
+    let query = parse("//a[d]//b[e]//c").unwrap();
+    let mut engine = TwigM::new(&query).unwrap();
+    let start = std::time::Instant::now();
+    let (ids, _) = run_engine(&mut engine, xml.as_bytes()).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(ids.len(), 1);
+    assert_eq!(engine.stats().peak_entries, 4001);
+    assert!(
+        elapsed.as_secs() < 30,
+        "quadratic-or-worse behaviour detected: {elapsed:?}"
+    );
+}
+
+/// A 2 MB document with one thousand standing queries in filter mode:
+/// finishes promptly and reports every satisfiable query exactly once.
+#[test]
+fn thousand_standing_queries_filter_one_pass() {
+    let (xml, _) = Dataset::Book.generate_vec(2 * 1024 * 1024);
+    let mut engine = twigm::MultiTwigM::new().filter_mode();
+    for i in 0..1000 {
+        let q = match i % 4 {
+            0 => "//section[title]/p".to_string(),
+            1 => format!("//section[@id = 's{i}']/p"),
+            2 => "//book[@year >= 2000]/title".to_string(),
+            _ => format!("//nonexistent{i}"),
+        };
+        engine.add_query(&parse(&q).unwrap()).unwrap();
+    }
+    let results = engine.run(&xml[..]).unwrap();
+    // Every query reported at most once.
+    let mut seen = std::collections::HashSet::new();
+    for r in &results {
+        assert!(seen.insert(r.query), "query {} reported twice", r.query);
+    }
+    // The two always-satisfiable patterns matched (500 queries).
+    assert!(results.len() >= 500);
+}
