@@ -219,9 +219,7 @@ impl<'d> InMemEval<'d> {
         // attribute (the id returned is the owner element's, matching
         // the streaming engines).
         if let Some(attr) = &query.attr {
-            frontier.retain(|&idx| {
-                self.doc.nodes[idx].attrs.iter().any(|(k, _)| k == attr)
-            });
+            frontier.retain(|&idx| self.doc.nodes[idx].attrs.iter().any(|(k, _)| k == attr));
         }
         frontier.sort_unstable();
         frontier
@@ -231,21 +229,17 @@ impl<'d> InMemEval<'d> {
     }
 
     fn step_predicates_hold(&mut self, step: &Step, node: usize) -> bool {
-        step.predicates.iter().all(|p| self.pred_holds(p, node, step))
+        step.predicates
+            .iter()
+            .all(|p| self.pred_holds(p, node, step))
     }
 
     fn pred_holds(&mut self, pred: &PredExpr, node: usize, step: &Step) -> bool {
         match pred {
-            PredExpr::And(a, b) => {
-                self.pred_holds(a, node, step) && self.pred_holds(b, node, step)
-            }
-            PredExpr::Or(a, b) => {
-                self.pred_holds(a, node, step) || self.pred_holds(b, node, step)
-            }
+            PredExpr::And(a, b) => self.pred_holds(a, node, step) && self.pred_holds(b, node, step),
+            PredExpr::Or(a, b) => self.pred_holds(a, node, step) || self.pred_holds(b, node, step),
             PredExpr::Exists(value) => self.value_holds(value, node, Test::Exists),
-            PredExpr::Compare(value, op, lit) => {
-                self.value_holds(value, node, Test::Cmp(*op, lit))
-            }
+            PredExpr::Compare(value, op, lit) => self.value_holds(value, node, Test::Cmp(*op, lit)),
             PredExpr::StrFn(func, value, arg) => {
                 self.value_holds(value, node, Test::Fn(*func, arg))
             }

@@ -18,10 +18,10 @@
 
 use twigm::engine::StreamEngine;
 use twigm::fxhash::FxHashSet;
-use twigm::machine::{Machine, MachineError, MNode};
+use twigm::machine::{MNode, Machine, MachineError};
 use twigm::query::QCond;
 use twigm::stats::EngineStats;
-use twigm_sax::{Attribute, NodeId};
+use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
 /// One explicitly materialized (partial) pattern match.
@@ -78,35 +78,11 @@ impl NaiveEnum {
         self.stacks.iter().map(Vec::len).sum()
     }
 
-    fn initial_slots(node: &MNode, attrs: &[Attribute<'_>]) -> u64 {
-        let mut slots = 0u64;
-        for &i in &node.start_conds {
-            let ok = match &node.conditions[i] {
-                QCond::AttrExists(name) => attrs.iter().any(|a| a.name == name),
-                QCond::AttrCmp(name, op, lit) => attrs
-                    .iter()
-                    .any(|a| a.name == name && op.eval(&a.value, lit)),
-                QCond::AttrFn(name, func, arg) => attrs
-                    .iter()
-                    .any(|a| a.name == name && func.eval(&a.value, arg)),
-                _ => unreachable!("start_conds holds only attribute conditions"),
-            };
-            if ok {
-                slots |= 1 << i;
-            }
-        }
-        slots
-    }
-}
-
-impl StreamEngine for NaiveEnum {
-    fn start_element(
-        &mut self,
-        tag: &str,
-        attrs: &[Attribute<'_>],
-        level: u32,
-        id: NodeId,
-    ) -> bool {
+    /// δs on an interned symbol. Dispatch visits the symbol's tag list,
+    /// then the wildcard list; edges have distance ≥ 1, so same-level
+    /// entries never interact within one event and the visit order
+    /// relative to the old ascending scan is immaterial.
+    fn start_sym(&mut self, sym: Symbol, attrs: &[Attribute<'_>], level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         self.depth = level;
         // Reset child sibling scopes for positional predicates.
@@ -118,11 +94,15 @@ impl StreamEngine for NaiveEnum {
             counts[level as usize] = 0;
         }
         let mut became_candidate = false;
-        for v in 0..self.machine.len() {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let mut slots = Self::initial_slots(node, attrs);
             // Positional predicates count per element, not per match.
             if !node.pos_conds.is_empty() {
@@ -131,8 +111,7 @@ impl StreamEngine for NaiveEnum {
                 // match (the same rule TwigM applies).
                 let qualifies = match node.parent {
                     None => node.edge.test(level as i64),
-                    Some(p) => self
-                        .stacks[p]
+                    Some(p) => self.stacks[p]
                         .iter()
                         .any(|e| node.edge.test(level as i64 - e.level as i64)),
                 };
@@ -205,27 +184,19 @@ impl StreamEngine for NaiveEnum {
         became_candidate
     }
 
-    fn text(&mut self, text: &str) {
-        for &v in self.machine.text_nodes() {
-            // All matches of the innermost element accumulate text.
-            let depth = self.depth;
-            for e in self.stacks[v].iter_mut().rev() {
-                if e.level != depth {
-                    break;
-                }
-                e.text.push_str(text);
-            }
-        }
-    }
-
-    fn end_element(&mut self, tag: &str, level: u32) {
+    /// δe on an interned symbol.
+    fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
-        for v in 0..self.machine.len() {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             // Pop every match of the closing element (they are contiguous
             // on top of the stack).
             while self.stacks[v].last().is_some_and(|e| e.level == level) {
@@ -268,8 +239,7 @@ impl StreamEngine for NaiveEnum {
                         // Upload to the *single* parent match this entry
                         // extends.
                         self.stats.upload_probes += 1;
-                        let slot_bit =
-                            1u64 << node.parent_slot.expect("non-root has a slot");
+                        let slot_bit = 1u64 << node.parent_slot.expect("non-root has a slot");
                         let emitted = &self.emitted;
                         let parent = &mut self.stacks[p][entry.parent_index];
                         match node.parent_counter {
@@ -290,6 +260,78 @@ impl StreamEngine for NaiveEnum {
             debug_assert!(self.stacks.iter().all(Vec::is_empty));
             self.emitted.clear();
         }
+    }
+
+    fn initial_slots(node: &MNode, attrs: &[Attribute<'_>]) -> u64 {
+        let mut slots = 0u64;
+        for &i in &node.start_conds {
+            let ok = match &node.conditions[i] {
+                QCond::AttrExists(name) => attrs.iter().any(|a| a.name == name),
+                QCond::AttrCmp(name, op, lit) => attrs
+                    .iter()
+                    .any(|a| a.name == name && op.eval(&a.value, lit)),
+                QCond::AttrFn(name, func, arg) => attrs
+                    .iter()
+                    .any(|a| a.name == name && func.eval(&a.value, arg)),
+                _ => unreachable!("start_conds holds only attribute conditions"),
+            };
+            if ok {
+                slots |= 1 << i;
+            }
+        }
+        slots
+    }
+}
+
+impl StreamEngine for NaiveEnum {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.start_sym(self.machine.symbols().lookup(tag), attrs, level, id)
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        _tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.start_sym(sym, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        for &v in self.machine.text_nodes() {
+            // All matches of the innermost element accumulate text.
+            let depth = self.depth;
+            for e in self.stacks[v].iter_mut().rev() {
+                if e.level != depth {
+                    break;
+                }
+                e.text.push_str(text);
+            }
+        }
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.end_sym(self.machine.symbols().lookup(tag), level)
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, _tag: &str, level: u32) {
+        self.end_sym(sym, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        Some(self.machine.symbols())
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        self.machine.needs_attributes(sym)
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {

@@ -86,10 +86,8 @@ fn sweep_depth() {
             // Concatenate independent trees under one root until the
             // target element count is reached.
             let mut tree = Vec::new();
-            count += twigm_datagen::recursive::random_recursive(
-                seed, depth, 2, &tags, &mut tree,
-            )
-            .unwrap();
+            count += twigm_datagen::recursive::random_recursive(seed, depth, 2, &tags, &mut tree)
+                .unwrap();
             xml.extend_from_slice(&tree);
             seed += 1;
         }
@@ -118,9 +116,8 @@ fn sweep_query_size() {
     let mut count = 0u64;
     while count < 20_000 {
         let mut tree = Vec::new();
-        count +=
-            twigm_datagen::recursive::random_recursive(seed, 24, 2, &["x", "y"], &mut tree)
-                .unwrap();
+        count += twigm_datagen::recursive::random_recursive(seed, 24, 2, &["x", "y"], &mut tree)
+            .unwrap();
         xml.extend_from_slice(&tree);
         seed += 1;
     }

@@ -1,0 +1,129 @@
+//! Symbol-interning ablation — measures what the tag-symbol hot path is
+//! worth on XMark-style auction data.
+//!
+//! For each query of the auction corpus the same document is streamed
+//! through the same engine twice:
+//!
+//! * **symbol** — the normal driver: one `SymbolTable::lookup` per event,
+//!   dense symbol dispatch, attribute decoding skipped for tags no
+//!   machine node tests;
+//! * **string** — the engine wrapped in [`StringOnly`], which hides its
+//!   symbol table, forcing the driver onto the string fallback (per-event
+//!   tag re-hash inside the engine plus unconditional attribute
+//!   decoding).
+//!
+//! Reports events/sec for both paths and the speedup. Result counts are
+//! asserted identical, so the run doubles as a string/symbol differential
+//! check on real benchmark data.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin ablation_interning`
+//! (plus the common `--scale X` / `--full` / `--repeats N` / `--csv`).
+
+use std::time::{Duration, Instant};
+
+use twigm::engine::StreamEngine;
+use twigm::stats::EngineStats;
+use twigm::TwigM;
+use twigm_bench::harness::{print_row, run_stream_with_deadline, run_timed, CommonArgs};
+use twigm_bench::{auction_queries, ensure_dataset};
+use twigm_datagen::Dataset;
+use twigm_sax::{Attribute, NodeId};
+
+/// Forwards only the string entry points, and hides the inner engine's
+/// symbol table, so the driver takes the no-interning path.
+struct StringOnly<E>(E);
+
+impl<E: StreamEngine> StreamEngine for StringOnly<E> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.0.start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        self.0.text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.0.end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        self.0.take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.0.stats()
+    }
+}
+
+/// One timed pass; returns (duration, events, results).
+fn pass<E: StreamEngine>(engine: &mut E, xml: &[u8]) -> (Duration, u64, u64) {
+    let start = Instant::now();
+    let results = run_stream_with_deadline(engine, xml, None)
+        .expect("valid xml")
+        .expect("no deadline");
+    let duration = start.elapsed();
+    let stats = engine.stats();
+    let events = stats.start_events + stats.end_events;
+    (duration, events, results)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let bytes = args.size_for(Dataset::Auction);
+    let path = ensure_dataset(Dataset::Auction, bytes).expect("dataset generation");
+    let xml = std::fs::read(&path).expect("read dataset");
+    println!(
+        "interning ablation: auction.xml ({:.1} MB), symbol vs string driver path",
+        xml.len() as f64 / (1024.0 * 1024.0)
+    );
+    println!();
+    let widths = [28, 14, 16, 16, 10];
+    print_row(
+        &widths,
+        &[
+            "query".into(),
+            "results".into(),
+            "string ev/s".into(),
+            "symbol ev/s".into(),
+            "speedup".into(),
+        ],
+    );
+    for spec in auction_queries() {
+        let query = spec.parse();
+        // Events per document are identical across passes; take them
+        // (and the result counts to cross-check) from one cold pass each.
+        let (_, events, sym_results) = pass(&mut TwigM::new(&query).unwrap(), &xml);
+        let (_, _, str_results) = pass(&mut StringOnly(TwigM::new(&query).unwrap()), &xml);
+        assert_eq!(
+            sym_results, str_results,
+            "string and symbol paths disagree on {}",
+            spec.text
+        );
+        let sym_time = run_timed(args.repeats, || {
+            pass(&mut TwigM::new(&query).unwrap(), &xml).0
+        });
+        let str_time = run_timed(args.repeats, || {
+            pass(&mut StringOnly(TwigM::new(&query).unwrap()), &xml).0
+        });
+        let ev_per_sec = |d: Duration| events as f64 / d.as_secs_f64();
+        print_row(
+            &widths,
+            &[
+                spec.text.to_string(),
+                sym_results.to_string(),
+                format!("{:.0}", ev_per_sec(str_time)),
+                format!("{:.0}", ev_per_sec(sym_time)),
+                format!("{:.2}x", str_time.as_secs_f64() / sym_time.as_secs_f64()),
+            ],
+        );
+    }
+    println!();
+    println!("string = interner hidden (per-event re-hash + full attribute decoding);");
+    println!("symbol = one lookup per event, dense dispatch, attributes on demand.");
+}

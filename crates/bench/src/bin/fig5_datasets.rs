@@ -14,7 +14,10 @@ use twigm_sax::{Event, SaxReader};
 
 fn main() {
     let args = CommonArgs::parse();
-    println!("Figure 5: features of the datasets (scale {:.2})", args.scale);
+    println!(
+        "Figure 5: features of the datasets (scale {:.2})",
+        args.scale
+    );
     println!("paper reference: Book 9MB recursive | Benchmark 34MB | Protein 75MB non-recursive");
     println!();
     let widths = [10, 10, 12, 10, 10, 10];

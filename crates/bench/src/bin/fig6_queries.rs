@@ -14,7 +14,10 @@ use twigm_datagen::Dataset;
 
 fn main() {
     let args = CommonArgs::parse();
-    println!("Figure 6: query sets (result counts at scale {:.2})", args.scale);
+    println!(
+        "Figure 6: query sets (result counts at scale {:.2})",
+        args.scale
+    );
     let sets = [
         (Dataset::Book, book_queries()),
         (Dataset::Protein, protein_queries()),

@@ -38,11 +38,7 @@ pub fn cache_dir() -> PathBuf {
 /// Path of a cached dataset at a given byte size.
 pub fn dataset_path(dataset: Dataset, bytes: usize) -> PathBuf {
     let mut path = cache_dir();
-    path.push(format!(
-        "{}-{}.xml",
-        dataset.name().to_lowercase(),
-        bytes
-    ));
+    path.push(format!("{}-{}.xml", dataset.name().to_lowercase(), bytes));
     path
 }
 

@@ -5,7 +5,7 @@ use std::io::Read;
 use std::time::{Duration, Instant};
 
 use twigm::{EngineStats, StreamEngine};
-use twigm_sax::{Attribute, SaxError, SaxReader};
+use twigm_sax::{Attribute, SaxError, SaxReader, Symbol};
 
 /// How one (system, query, dataset) run ended.
 #[derive(Debug, Clone)]
@@ -43,19 +43,36 @@ pub fn run_stream_with_deadline<E: StreamEngine, R: Read>(
     src: R,
     deadline: Option<Instant>,
 ) -> Result<Option<u64>, SaxError> {
+    // Same symbol-dispatch loop as `twigm::engine::run_engine`: snapshot
+    // the interner once, one FxHash lookup per event, attributes decoded
+    // only when a dispatched machine node tests them.
+    let table = engine.symbols().cloned();
     let mut reader = SaxReader::new(src);
     let mut events: u64 = 0;
     let mut results: u64 = 0;
     while let Some(event) = reader.next_event()? {
         match event {
             twigm_sax::Event::Start(tag) => {
+                let sym = match &table {
+                    Some(t) => t.lookup(tag.name()),
+                    None => Symbol::UNKNOWN,
+                };
                 let mut attrs: Vec<Attribute<'_>> = Vec::new();
-                for a in tag.attributes() {
-                    attrs.push(a?);
+                if table.is_none() || engine.needs_attributes(sym) {
+                    for a in tag.attributes() {
+                        attrs.push(a?);
+                    }
                 }
-                engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                if table.is_some() {
+                    engine.start_element_sym(sym, tag.name(), &attrs, tag.level(), tag.id());
+                } else {
+                    engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                }
             }
-            twigm_sax::Event::End(tag) => engine.end_element(tag.name(), tag.level()),
+            twigm_sax::Event::End(tag) => match &table {
+                Some(t) => engine.end_element_sym(t.lookup(tag.name()), tag.name(), tag.level()),
+                None => engine.end_element(tag.name(), tag.level()),
+            },
             twigm_sax::Event::Text(t) => engine.text(&t),
             _ => {}
         }

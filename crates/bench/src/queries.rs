@@ -50,11 +50,7 @@ pub fn book_queries() -> Vec<QuerySpec> {
         spec("Q7", "//book[@year]//section[@id]/title", "XP{/,//,[]}"),
         spec("Q8", "//book[@year = '1999']/title", "XP{/,//,[]} + value"),
         spec("Q9", "//section[figure[image]]//p", "XP{/,//,*,[]}"),
-        spec(
-            "Q10",
-            "//book//*[title][figure/@width]/p",
-            "XP{/,//,*,[]}",
-        ),
+        spec("Q10", "//book//*[title][figure/@width]/p", "XP{/,//,*,[]}"),
     ]
 }
 
@@ -72,11 +68,7 @@ pub fn protein_queries() -> Vec<QuerySpec> {
         spec("Q5", "//ProteinEntry[keywords]/protein", "XP{/,//,[]}"),
         spec("Q6", "//refinfo[year]/title", "XP{/,//,[]}"),
         spec("Q7", "//ProteinEntry[@id]//gene", "XP{/,//,[]}"),
-        spec(
-            "Q8",
-            "//accinfo[mol-type = 'mRNA']",
-            "XP{/,//,[]} + value",
-        ),
+        spec("Q8", "//accinfo[mol-type = 'mRNA']", "XP{/,//,[]} + value"),
         spec(
             "Q9",
             "//ProteinEntry[reference/refinfo[authors]]//keyword",

@@ -26,12 +26,7 @@ pub enum System {
 }
 
 /// All systems in the paper's presentation order.
-pub const SYSTEMS: [System; 4] = [
-    System::TwigM,
-    System::Xmltk,
-    System::Xsq,
-    System::InMemory,
-];
+pub const SYSTEMS: [System; 4] = [System::TwigM, System::Xmltk, System::Xsq, System::InMemory];
 
 impl System {
     /// Display name (paper naming).
@@ -74,17 +69,17 @@ impl System {
             Ok(f) => BufReader::with_capacity(256 * 1024, f),
             Err(e) => return RunOutcome::Error(e.to_string()),
         };
-        let streamed = |outcome: Result<Option<u64>, twigm_sax::SaxError>,
-                        stats: EngineStats| match outcome {
-            Ok(Some(results)) => RunOutcome::Ok(MeasuredRun {
-                duration: start.elapsed(),
-                results,
-                stats,
-                peak_bytes: None,
-            }),
-            Ok(None) => RunOutcome::TimedOut,
-            Err(e) => RunOutcome::Error(e.to_string()),
-        };
+        let streamed =
+            |outcome: Result<Option<u64>, twigm_sax::SaxError>, stats: EngineStats| match outcome {
+                Ok(Some(results)) => RunOutcome::Ok(MeasuredRun {
+                    duration: start.elapsed(),
+                    results,
+                    stats,
+                    peak_bytes: None,
+                }),
+                Ok(None) => RunOutcome::TimedOut,
+                Err(e) => RunOutcome::Error(e.to_string()),
+            };
         match self {
             System::TwigM => {
                 // Auto-select like twigm::Engine, but keep the concrete
@@ -194,7 +189,11 @@ mod tests {
     fn missing_file_is_an_error() {
         let query = parse("//a").unwrap();
         assert!(matches!(
-            System::TwigM.run(&query, FsPath::new("/nonexistent.xml"), Duration::from_secs(1)),
+            System::TwigM.run(
+                &query,
+                FsPath::new("/nonexistent.xml"),
+                Duration::from_secs(1)
+            ),
             RunOutcome::Error(_)
         ));
     }

@@ -1,0 +1,63 @@
+//! Pins the hot-path allocation claim: with symbol dispatch, a start
+//! tag that matches nothing costs **zero heap allocations** — no owned
+//! tag string, no attribute vector growth, no hash-map insertion.
+//!
+//! Lives in its own integration-test binary because it registers the
+//! counting global allocator; the single test keeps the counters free
+//! of concurrent-test noise.
+
+use twigm::engine::StreamEngine;
+use twigm::TwigM;
+use twigm_bench::CountingAllocator;
+use twigm_sax::NodeId;
+use twigm_xpath::parse;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn non_matching_start_tag_allocates_nothing() {
+    let query = parse("//a[d]//b[e]//c").unwrap();
+    let mut engine = TwigM::new(&query).unwrap();
+    let table = engine.symbols().cloned().expect("TwigM has an interner");
+
+    // An uninterned tag resolves to Symbol::UNKNOWN — the lookup itself
+    // must not allocate (the table is frozen; it never inserts).
+    let baseline = CountingAllocator::reset_peak();
+    let unknown = table.lookup("never-mentioned");
+    assert!(!unknown.is_known());
+    assert_eq!(CountingAllocator::peak(), baseline, "lookup allocated");
+
+    // The driver skips attribute decoding for it entirely.
+    assert!(!engine.needs_attributes(unknown));
+
+    // A full start/end round trip for the non-matching element: the
+    // empty dispatch list means no stack touches, no pushes, nothing.
+    let baseline = CountingAllocator::reset_peak();
+    for i in 0..1_000u64 {
+        engine.start_element_sym(unknown, "never-mentioned", &[], 1, NodeId::new(i));
+        engine.end_element_sym(unknown, "never-mentioned", 1);
+    }
+    assert_eq!(
+        CountingAllocator::peak(),
+        baseline,
+        "non-matching events allocated"
+    );
+
+    // A *known* tag whose edge test fails (no qualifying parent entry,
+    // wrong level) also pushes nothing: dense dispatch finds the node,
+    // the qualification probe rejects it, no entry is built. "d" only
+    // qualifies under an open "a".
+    let d = table.lookup("d");
+    assert!(d.is_known());
+    let baseline = CountingAllocator::reset_peak();
+    for i in 0..1_000u64 {
+        engine.start_element_sym(d, "d", &[], 1, NodeId::new(i));
+        engine.end_element_sym(d, "d", 1);
+    }
+    assert_eq!(
+        CountingAllocator::peak(),
+        baseline,
+        "unqualified known-tag events allocated"
+    );
+}

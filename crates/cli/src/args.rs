@@ -193,7 +193,9 @@ mod tests {
 
     #[test]
     fn repeated_queries() {
-        let args = parse(&["-q", "//a", "-q", "//b", "f.xml"]).unwrap().unwrap();
+        let args = parse(&["-q", "//a", "-q", "//b", "f.xml"])
+            .unwrap()
+            .unwrap();
         assert_eq!(args.queries.len(), 2);
         assert_eq!(args.file.as_deref(), Some("f.xml"));
     }

@@ -67,8 +67,7 @@ fn input(args: &Args) -> Result<Box<dyn Read>, String> {
         None => Ok(Box::new(std::io::stdin())),
         Some(path) if path == "-" => Ok(Box::new(std::io::stdin())),
         Some(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
             Ok(Box::new(BufReader::with_capacity(256 * 1024, file)))
         }
     }

@@ -14,15 +14,10 @@ use crate::args::{Args, EngineChoice, OutputMode};
 
 /// Runs a single query, prints per `args.output`, returns the match
 /// count.
-pub fn run_single(
-    args: &Args,
-    input: &mut dyn Read,
-    out: &mut dyn Write,
-) -> Result<u64, String> {
+pub fn run_single(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Result<u64, String> {
     // A `|` union runs through the multi-query engine with set-union
     // output.
-    let branches =
-        twigm_xpath::parse_union(&args.queries[0]).map_err(|e| e.to_string())?;
+    let branches = twigm_xpath::parse_union(&args.queries[0]).map_err(|e| e.to_string())?;
     if branches.len() > 1 {
         if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
             return Err("union queries run on the TwigM engine only".into());
@@ -102,8 +97,7 @@ fn run_streaming<E: StreamEngine>(
         OutputMode::Values => {
             let attr = attr.expect("validated in run_single");
             let collector = AttrCollector::new(engine, attr);
-            let (_, mut collector) =
-                run_engine(collector, input).map_err(|e| e.to_string())?;
+            let (_, mut collector) = run_engine(collector, input).map_err(|e| e.to_string())?;
             let values = collector.take_values();
             let count = values.len() as u64;
             for (_, value) in values {
@@ -114,8 +108,7 @@ fn run_streaming<E: StreamEngine>(
         }
         OutputMode::Fragments => {
             let collector = FragmentCollector::new(engine);
-            let (_, mut collector) =
-                run_engine(collector, input).map_err(|e| e.to_string())?;
+            let (_, mut collector) = run_engine(collector, input).map_err(|e| e.to_string())?;
             let fragments = collector.take_fragments();
             let count = fragments.len() as u64;
             for (_, fragment) in fragments {
@@ -160,9 +153,7 @@ fn run_dom(
         OutputMode::Fragments => {
             return Err("--fragments is not supported with --engine dom".into())
         }
-        OutputMode::Values => {
-            return Err("--values is not supported with --engine dom".into())
-        }
+        OutputMode::Values => return Err("--values is not supported with --engine dom".into()),
     }
     if args.stats {
         eprintln!(
@@ -176,11 +167,7 @@ fn run_dom(
 
 /// Runs several standing queries via [`MultiTwigM`]; output lines are
 /// `Q<i><TAB><node id>` in decision order.
-pub fn run_multi(
-    args: &Args,
-    input: &mut dyn Read,
-    out: &mut dyn Write,
-) -> Result<u64, String> {
+pub fn run_multi(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Result<u64, String> {
     if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
         return Err("multiple queries run on the TwigM engine only".into());
     }
@@ -282,7 +269,10 @@ mod tests {
             let (out, _) = run(&["--engine", engine, "-c", "//a"], "<r><a/></r>");
             assert_eq!(out, "1\n", "engine {engine}");
         }
-        let (out, _) = run(&["--engine", "branch", "-c", "/r/a[b]"], "<r><a><b/></a></r>");
+        let (out, _) = run(
+            &["--engine", "branch", "-c", "/r/a[b]"],
+            "<r><a><b/></a></r>",
+        );
         assert_eq!(out, "1\n");
     }
 
@@ -299,10 +289,7 @@ mod tests {
 
     #[test]
     fn multi_query_output_is_tagged() {
-        let (out, count) = run(
-            &["-q", "//a", "-q", "//b"],
-            "<r><a/><b/></r>",
-        );
+        let (out, count) = run(&["-q", "//a", "-q", "//b"], "<r><a/><b/></r>");
         assert_eq!(count, 2);
         assert!(out.contains("Q0\t1"));
         assert!(out.contains("Q1\t2"));

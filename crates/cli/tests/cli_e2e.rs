@@ -18,11 +18,7 @@ fn run_with_stdin(args: &[&str], stdin: &[u8]) -> (String, String, i32) {
         .expect("spawn twigm");
     // The process may exit before reading stdin (e.g. a bad flag), so a
     // broken pipe here is expected, not a failure.
-    let _ = child
-        .stdin
-        .take()
-        .expect("stdin piped")
-        .write_all(stdin);
+    let _ = child.stdin.take().expect("stdin piped").write_all(stdin);
     let output = child.wait_with_output().expect("twigm runs");
     (
         String::from_utf8(output.stdout).expect("utf8 stdout"),
@@ -155,7 +151,10 @@ fn entity_declarations_flow_through() {
 #[test]
 fn filter_mode_reports_matching_queries_once() {
     let xml = b"<r><a/><a/><b><c/></b></r>";
-    let (out, _, code) = run_with_stdin(&["--filter", "-q", "//a", "-q", "//b[c]", "-q", "//zzz"], xml);
+    let (out, _, code) = run_with_stdin(
+        &["--filter", "-q", "//a", "-q", "//b[c]", "-q", "//zzz"],
+        xml,
+    );
     assert_eq!(code, 0);
     let mut lines: Vec<&str> = out.lines().collect();
     lines.sort_unstable();

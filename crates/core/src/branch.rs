@@ -9,11 +9,11 @@
 //! β-component in the parent's branch match, uploads its candidates, and
 //! resets to `(L = -1, B = <F..F>, C = ∅)` — represented here as `None`.
 
-use twigm_sax::{Attribute, NodeId};
+use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
 use crate::engine::StreamEngine;
-use crate::machine::{Machine, MachineError, MNode};
+use crate::machine::{MNode, Machine, MachineError};
 use crate::query::QCond;
 use crate::stats::EngineStats;
 
@@ -83,22 +83,23 @@ impl BranchM {
     }
 }
 
-impl StreamEngine for BranchM {
-    fn start_element(
-        &mut self,
-        tag: &str,
-        attrs: &[Attribute<'_>],
-        level: u32,
-        id: NodeId,
-    ) -> bool {
+impl BranchM {
+    /// δs, dispatching on an interned symbol. (`XP{/,[]}` has no
+    /// wildcards, so the wildcard list is empty and dispatch is just the
+    /// dense per-symbol node list.)
+    fn start_sym(&mut self, sym: Symbol, attrs: &[Attribute<'_>], level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         self.depth = level;
         let mut became_candidate = false;
-        for v in 0..self.machine.len() {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             self.stats.qualification_probes += 1;
             let qualified = match node.parent {
                 None => node.edge.test(level as i64),
@@ -134,24 +135,19 @@ impl StreamEngine for BranchM {
         became_candidate
     }
 
-    fn text(&mut self, text: &str) {
-        for &v in self.machine.text_nodes() {
-            if let Some(state) = self.states[v].as_mut() {
-                if state.level == self.depth {
-                    state.text.push_str(text);
-                }
-            }
-        }
-    }
-
-    fn end_element(&mut self, tag: &str, level: u32) {
+    /// δe, dispatching on an interned symbol.
+    fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
-        for v in 0..self.machine.len() {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let matches_level = self.states[v].as_ref().is_some_and(|s| s.level == level);
             if !matches_level {
                 continue;
@@ -165,9 +161,7 @@ impl StreamEngine for BranchM {
                     QCond::TextExists => !state.text.is_empty(),
                     // Comparisons over an empty node-set are false in
                     // XPath, even for `!=`.
-                    QCond::TextCmp(op, lit) => {
-                        !state.text.is_empty() && op.eval(&state.text, lit)
-                    }
+                    QCond::TextCmp(op, lit) => !state.text.is_empty() && op.eval(&state.text, lit),
                     QCond::TextFn(func, arg) => {
                         !state.text.is_empty() && func.eval(&state.text, arg)
                     }
@@ -202,6 +196,57 @@ impl StreamEngine for BranchM {
             }
         }
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+    }
+}
+
+impl StreamEngine for BranchM {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        let sym = self.machine.symbols().lookup(tag);
+        self.start_sym(sym, attrs, level, id)
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        _tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.start_sym(sym, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        for &v in self.machine.text_nodes() {
+            if let Some(state) = self.states[v].as_mut() {
+                if state.level == self.depth {
+                    state.text.push_str(text);
+                }
+            }
+        }
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        let sym = self.machine.symbols().lookup(tag);
+        self.end_sym(sym, level)
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, _tag: &str, level: u32) {
+        self.end_sym(sym, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        Some(self.machine.symbols())
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        self.machine.needs_attributes(sym)
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {

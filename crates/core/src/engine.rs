@@ -3,7 +3,7 @@
 use std::fmt;
 use std::io::Read;
 
-use twigm_sax::{Attribute, NodeId, SaxError, SaxHandler, SaxReader};
+use twigm_sax::{Attribute, NodeId, SaxError, SaxHandler, SaxReader, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
 use crate::branch::BranchM;
@@ -23,19 +23,55 @@ pub trait StreamEngine {
     /// Processes a start tag. Returns `true` when the element was pushed
     /// onto the return node's stack (i.e. it became a solution candidate)
     /// — used by the fragment collector to know what to record.
-    fn start_element(
-        &mut self,
-        tag: &str,
-        attrs: &[Attribute<'_>],
-        level: u32,
-        id: NodeId,
-    ) -> bool;
+    fn start_element(&mut self, tag: &str, attrs: &[Attribute<'_>], level: u32, id: NodeId)
+        -> bool;
 
     /// Processes character data (may arrive in chunks).
     fn text(&mut self, _text: &str) {}
 
     /// Processes an end tag.
     fn end_element(&mut self, tag: &str, level: u32);
+
+    /// Symbol-dispatch start tag: `sym` is `self.symbols().lookup(tag)`,
+    /// computed once by the driver. Engines with a symbol table override
+    /// this to dispatch on dense tables without re-hashing `tag`; the
+    /// default falls back to the string path so existing implementations
+    /// keep compiling.
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        let _ = sym;
+        self.start_element(tag, attrs, level, id)
+    }
+
+    /// Symbol-dispatch end tag; same contract as
+    /// [`StreamEngine::start_element_sym`].
+    fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
+        let _ = sym;
+        self.end_element(tag, level)
+    }
+
+    /// The engine's interner, when it has one. Drivers that see `Some`
+    /// perform one lookup per event and call the `_sym` entry points;
+    /// `None` (the default) keeps them on the string path.
+    fn symbols(&self) -> Option<&SymbolTable> {
+        None
+    }
+
+    /// Whether a start event with this symbol needs its attributes
+    /// collected. Engines that test no attributes for `sym` return
+    /// `false`, letting the driver skip attribute decoding entirely (the
+    /// common case: a non-matching tag costs zero allocations). The
+    /// conservative default collects always.
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        let _ = sym;
+        true
+    }
 
     /// Drains the results decided so far, in decision order.
     fn take_results(&mut self) -> Vec<NodeId>;
@@ -61,6 +97,29 @@ impl<E: StreamEngine + ?Sized> StreamEngine for &mut E {
 
     fn end_element(&mut self, tag: &str, level: u32) {
         (**self).end_element(tag, level)
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        (**self).start_element_sym(sym, tag, attrs, level, id)
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
+        (**self).end_element_sym(sym, tag, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        (**self).symbols()
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        (**self).needs_attributes(sym)
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {
@@ -89,6 +148,29 @@ impl<E: StreamEngine + ?Sized> StreamEngine for Box<E> {
 
     fn end_element(&mut self, tag: &str, level: u32) {
         (**self).end_element(tag, level)
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        (**self).start_element_sym(sym, tag, attrs, level, id)
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
+        (**self).end_element_sym(sym, tag, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        (**self).symbols()
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        (**self).needs_attributes(sym)
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {
@@ -204,6 +286,45 @@ impl StreamEngine for Engine {
         }
     }
 
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        match self {
+            Engine::Path(e) => e.start_element_sym(sym, tag, attrs, level, id),
+            Engine::Branch(e) => e.start_element_sym(sym, tag, attrs, level, id),
+            Engine::Twig(e) => e.start_element_sym(sym, tag, attrs, level, id),
+        }
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
+        match self {
+            Engine::Path(e) => e.end_element_sym(sym, tag, level),
+            Engine::Branch(e) => e.end_element_sym(sym, tag, level),
+            Engine::Twig(e) => e.end_element_sym(sym, tag, level),
+        }
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        match self {
+            Engine::Path(e) => e.symbols(),
+            Engine::Branch(e) => e.symbols(),
+            Engine::Twig(e) => e.symbols(),
+        }
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        match self {
+            Engine::Path(e) => e.needs_attributes(sym),
+            Engine::Branch(e) => e.needs_attributes(sym),
+            Engine::Twig(e) => e.needs_attributes(sym),
+        }
+    }
+
     fn take_results(&mut self) -> Vec<NodeId> {
         match self {
             Engine::Path(e) => e.take_results(),
@@ -262,17 +383,39 @@ pub fn run_engine<E: StreamEngine, R: Read>(
     mut engine: E,
     src: R,
 ) -> Result<(Vec<NodeId>, E), SaxError> {
+    // Snapshot the engine's interner once: the hot loop then pays one
+    // FxHash lookup per event and dispatches on symbols. (Engines
+    // without a table stay on the string path via `Symbol::UNKNOWN` +
+    // the trait's default fallbacks.)
+    let table = engine.symbols().cloned();
     let mut reader = SaxReader::new(src);
     while let Some(event) = reader.next_event()? {
         match event {
             twigm_sax::Event::Start(tag) => {
+                let sym = match &table {
+                    Some(t) => t.lookup(tag.name()),
+                    None => Symbol::UNKNOWN,
+                };
+                // An empty Vec never allocates, so skipping attribute
+                // collection makes a non-matching start tag allocation
+                // free. (Caveat: attribute values of skipped tags are
+                // not entity-checked.)
                 let mut attrs: Vec<Attribute<'_>> = Vec::new();
-                for a in tag.attributes() {
-                    attrs.push(a?);
+                if table.is_none() || engine.needs_attributes(sym) {
+                    for a in tag.attributes() {
+                        attrs.push(a?);
+                    }
                 }
-                engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                if table.is_some() {
+                    engine.start_element_sym(sym, tag.name(), &attrs, tag.level(), tag.id());
+                } else {
+                    engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                }
             }
-            twigm_sax::Event::End(tag) => engine.end_element(tag.name(), tag.level()),
+            twigm_sax::Event::End(tag) => match &table {
+                Some(t) => engine.end_element_sym(t.lookup(tag.name()), tag.name(), tag.level()),
+                None => engine.end_element(tag.name(), tag.level()),
+            },
             twigm_sax::Event::Text(t) => engine.text(&t),
             _ => {}
         }
@@ -300,10 +443,7 @@ pub fn evaluate<R: Read>(query: &Path, src: R) -> Result<Vec<NodeId>, EvalError>
 /// let ids = twigm::evaluate_union(&branches, &xml[..]).unwrap();
 /// assert_eq!(ids.len(), 2);
 /// ```
-pub fn evaluate_union<R: Read>(
-    branches: &[Path],
-    src: R,
-) -> Result<Vec<NodeId>, EvalError> {
+pub fn evaluate_union<R: Read>(branches: &[Path], src: R) -> Result<Vec<NodeId>, EvalError> {
     let mut engine = crate::multi::MultiTwigM::new();
     for branch in branches {
         engine.add_query(branch)?;
@@ -400,6 +540,9 @@ mod ordering_tests {
         let branches = twigm_xpath::parse_union("//a | /r/a | //b").unwrap();
         assert_eq!(branches.len(), 3);
         let ids = evaluate_union(&branches, xml).unwrap();
-        assert_eq!(ids.iter().map(|id| id.get()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            ids.iter().map(|id| id.get()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 }

@@ -138,11 +138,7 @@ impl<E: StreamEngine> StreamEngine for FragmentCollector<E> {
             // Close recordings of elements ending at this level (at most
             // one: recordings at one level are sequential, and the
             // previous one was closed when its element ended).
-            while self
-                .open
-                .last()
-                .is_some_and(|rec| rec.level == level)
-            {
+            while self.open.last().is_some_and(|rec| rec.level == level) {
                 let rec = self.open.pop().expect("checked non-empty");
                 if self.decided_early.remove(&rec.id) {
                     self.fragments.push((NodeId::new(rec.id), rec.buf));

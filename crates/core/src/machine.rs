@@ -13,12 +13,22 @@
 //! evaluated at the start tag (attributes) and which at the end tag
 //! (text), and each node's slot index in its parent's branch-match array
 //! (the paper's child-identity function β).
+//!
+//! **Symbol dispatch.** Every tag name test is interned into a
+//! [`SymbolTable`] at build time, and dispatch is a dense
+//! `Vec<Vec<usize>>` indexed by [`Symbol`] — so the per-event cost is one
+//! interner lookup (done once by the stream driver, not per machine
+//! node) plus array indexing. Tags no query mentions map to
+//! [`Symbol::UNKNOWN`] and reach only the wildcard nodes. Machines built
+//! with [`Machine::from_tree_in`] intern into a caller-provided shared
+//! table, which is how `MultiTwigM` gives hundreds of standing queries
+//! one common symbol space.
 
 use std::fmt;
 
+use twigm_sax::{Symbol, SymbolTable};
 use twigm_xpath::{NameTest, Path};
 
-use crate::fxhash::FxHashMap;
 use crate::query::{QCond, QFormula, QNodeId, QueryTree};
 
 /// Maximum number of branch-match slots per machine node (the slot set is
@@ -86,7 +96,12 @@ impl EdgeCond {
 
 impl fmt::Display for EdgeCond {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})", if self.exact { "=" } else { "\u{2265}" }, self.dist)
+        write!(
+            f,
+            "({}, {})",
+            if self.exact { "=" } else { "\u{2265}" },
+            self.dist
+        )
     }
 }
 
@@ -95,6 +110,9 @@ impl fmt::Display for EdgeCond {
 pub struct MNode {
     /// The name test (tag or `*`).
     pub name: NameTest,
+    /// The interned symbol of the tag name ([`Symbol::UNKNOWN`] for
+    /// wildcard nodes, which match every symbol).
+    pub sym: Symbol,
     /// Machine parent, `None` for the machine root.
     pub parent: Option<usize>,
     /// Push condition on the edge to the parent (for the root: relative
@@ -155,8 +173,17 @@ pub struct Machine {
     pub root: usize,
     /// Index of the return node.
     pub sol: usize,
-    /// Dispatch: tag → machine nodes with that tag.
-    by_tag: FxHashMap<String, Vec<usize>>,
+    /// The interner this machine's name tests live in (a snapshot of the
+    /// shared table for [`Machine::from_tree_in`] builds).
+    table: SymbolTable,
+    /// Dense dispatch: symbol index → machine nodes with that tag.
+    by_sym: Vec<Vec<usize>>,
+    /// Per symbol index: does any node with that tag have start-tag
+    /// (attribute) conditions? Lets drivers skip attribute collection.
+    attr_syms: Vec<bool>,
+    /// Whether any wildcard node has start-tag conditions (then every
+    /// event needs attributes).
+    attr_wild: bool,
     /// Machine nodes labelled `*` (they receive every start/end event).
     wildcards: Vec<usize>,
     /// Machine nodes that need element text.
@@ -172,8 +199,28 @@ impl Machine {
         Self::from_tree(&QueryTree::from_path(path))
     }
 
-    /// Compiles a lowered query tree into a machine.
+    /// Compiles a parsed query, interning its name tests into a shared
+    /// [`SymbolTable`] (for multi-query engines that want one common
+    /// symbol space).
+    pub fn from_path_in(path: &Path, table: &mut SymbolTable) -> Result<Machine, MachineError> {
+        Self::from_tree_in(&QueryTree::from_path(path), table)
+    }
+
+    /// Compiles a lowered query tree into a machine with a private
+    /// symbol table.
     pub fn from_tree(tree: &QueryTree) -> Result<Machine, MachineError> {
+        let mut table = SymbolTable::new();
+        Self::from_tree_in(tree, &mut table)
+    }
+
+    /// Compiles a lowered query tree into a machine, interning into the
+    /// caller's [`SymbolTable`]. The machine keeps a snapshot of the
+    /// table (symbols are append-only, so the snapshot stays consistent
+    /// with later growth of the shared table).
+    pub fn from_tree_in(
+        tree: &QueryTree,
+        table: &mut SymbolTable,
+    ) -> Result<Machine, MachineError> {
         let n = tree.nodes.len();
         // 1. Decide which query nodes fold away.
         let foldable: Vec<bool> = (0..n).map(|q| is_foldable(tree, q)).collect();
@@ -234,7 +281,10 @@ impl Machine {
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| {
-                    matches!(c, QCond::AttrExists(_) | QCond::AttrCmp(..) | QCond::AttrFn(..))
+                    matches!(
+                        c,
+                        QCond::AttrExists(_) | QCond::AttrCmp(..) | QCond::AttrFn(..)
+                    )
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -242,7 +292,10 @@ impl Machine {
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| {
-                    matches!(c, QCond::TextExists | QCond::TextCmp(..) | QCond::TextFn(..))
+                    matches!(
+                        c,
+                        QCond::TextExists | QCond::TextCmp(..) | QCond::TextFn(..)
+                    )
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -281,8 +334,13 @@ impl Machine {
                     1u64 << slot
                 })
                 .unwrap_or(0);
+            let sym = match &qnode.name {
+                NameTest::Tag(t) => table.intern(t),
+                NameTest::Wildcard => Symbol::UNKNOWN,
+            };
             nodes.push(MNode {
                 name: qnode.name.clone(),
+                sym,
                 parent,
                 edge: EdgeCond { exact, dist },
                 parent_slot: None, // filled below
@@ -318,15 +376,26 @@ impl Machine {
                     .map(|(_, counter, _, _)| *counter);
             }
         }
-        // 6. Dispatch tables.
-        let mut by_tag: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+        // 6. Dispatch tables, dense over the symbol space. `by_sym` is
+        //    sized to the full (possibly shared) table so a driver-side
+        //    lookup indexes without re-checking which machine interned
+        //    the symbol.
+        let mut by_sym: Vec<Vec<usize>> = vec![Vec::new(); table.len()];
+        let mut attr_syms = vec![false; table.len()];
+        let mut attr_wild = false;
         let mut wildcards = Vec::new();
         let mut text_nodes = Vec::new();
         let mut pos_nodes = Vec::new();
         for (v, node) in nodes.iter().enumerate() {
-            match &node.name {
-                NameTest::Tag(t) => by_tag.entry(t.clone()).or_default().push(v),
-                NameTest::Wildcard => wildcards.push(v),
+            match node.sym.index() {
+                Some(i) => {
+                    by_sym[i].push(v);
+                    attr_syms[i] |= !node.start_conds.is_empty();
+                }
+                None => {
+                    wildcards.push(v);
+                    attr_wild |= !node.start_conds.is_empty();
+                }
             }
             if node.needs_text {
                 text_nodes.push(v);
@@ -347,23 +416,67 @@ impl Machine {
             nodes,
             root,
             sol,
-            by_tag,
+            table: table.clone(),
+            by_sym,
+            attr_syms,
+            attr_wild,
             wildcards,
             text_nodes,
             pos_nodes,
         })
     }
 
-    /// Machine nodes that should receive events for `tag` (name matches
-    /// or the node is a wildcard).
-    pub fn nodes_for_tag<'a>(&'a self, tag: &str) -> impl Iterator<Item = usize> + 'a {
-        self.by_tag
-            .get(tag)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    /// The symbol table this machine's name tests were interned into.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Machine nodes whose tag is exactly `sym` (wildcards excluded).
+    /// Dense indexing, no hashing; foreign or unknown symbols yield the
+    /// empty slice.
+    #[inline]
+    pub fn tag_nodes(&self, sym: Symbol) -> &[usize] {
+        match sym.index() {
+            Some(i) if i < self.by_sym.len() => &self.by_sym[i],
+            _ => &[],
+        }
+    }
+
+    /// Machine nodes labelled `*` — they receive every event, whatever
+    /// its symbol.
+    #[inline]
+    pub fn wildcards(&self) -> &[usize] {
+        &self.wildcards
+    }
+
+    /// Machine nodes that should receive events for `sym` (tag matches
+    /// or the node is a wildcard). The symbol-dispatch analogue of
+    /// [`Machine::nodes_for_tag`].
+    #[inline]
+    pub fn nodes_for_symbol(&self, sym: Symbol) -> impl Iterator<Item = usize> + '_ {
+        self.tag_nodes(sym)
             .iter()
             .copied()
             .chain(self.wildcards.iter().copied())
+    }
+
+    /// Whether a start event with this symbol needs its attributes
+    /// collected (some dispatched node tests them). Unknown symbols need
+    /// attributes only if a wildcard node does.
+    #[inline]
+    pub fn needs_attributes(&self, sym: Symbol) -> bool {
+        self.attr_wild
+            || match sym.index() {
+                Some(i) if i < self.attr_syms.len() => self.attr_syms[i],
+                _ => false,
+            }
+    }
+
+    /// Machine nodes that should receive events for `tag` (name matches
+    /// or the node is a wildcard). String-keyed convenience: one interner
+    /// lookup, then symbol dispatch.
+    pub fn nodes_for_tag<'a>(&'a self, tag: &str) -> impl Iterator<Item = usize> + 'a {
+        self.nodes_for_symbol(self.table.lookup(tag))
     }
 
     /// Machine nodes whose entries accumulate element text.
@@ -466,13 +579,24 @@ mod tests {
         Machine::from_path(&parse(q).unwrap()).unwrap()
     }
 
+    /// The (single) machine node carrying tag `t`.
+    fn tag_node(m: &Machine, t: &str) -> usize {
+        m.tag_nodes(m.symbols().lookup(t))[0]
+    }
+
     #[test]
     fn paper_m2_structure() {
         // //a//b//c (figure 2): three nodes, all edges (>=, 1).
         let m = machine("//a//b//c");
         assert_eq!(m.len(), 3);
         for node in &m.nodes {
-            assert_eq!(node.edge, EdgeCond { exact: false, dist: 1 });
+            assert_eq!(
+                node.edge,
+                EdgeCond {
+                    exact: false,
+                    dist: 1
+                }
+            );
         }
         assert_eq!(m.nodes[m.root].name, NameTest::Tag("a".into()));
         assert!(m.nodes[m.sol].is_sol);
@@ -482,9 +606,21 @@ mod tests {
     #[test]
     fn child_axis_edges_are_exact() {
         let m = machine("/a/b");
-        assert_eq!(m.nodes[m.root].edge, EdgeCond { exact: true, dist: 1 });
-        let b = m.by_tag.get("b").unwrap()[0];
-        assert_eq!(m.nodes[b].edge, EdgeCond { exact: true, dist: 1 });
+        assert_eq!(
+            m.nodes[m.root].edge,
+            EdgeCond {
+                exact: true,
+                dist: 1
+            }
+        );
+        let b = tag_node(&m, "b");
+        assert_eq!(
+            m.nodes[b].edge,
+            EdgeCond {
+                exact: true,
+                dist: 1
+            }
+        );
     }
 
     #[test]
@@ -492,8 +628,14 @@ mod tests {
         // /a/*/b: machine has two nodes; b's edge is (=, 2).
         let m = machine("/a/*/b");
         assert_eq!(m.len(), 2);
-        let b = m.by_tag.get("b").unwrap()[0];
-        assert_eq!(m.nodes[b].edge, EdgeCond { exact: true, dist: 2 });
+        let b = tag_node(&m, "b");
+        assert_eq!(
+            m.nodes[b].edge,
+            EdgeCond {
+                exact: true,
+                dist: 2
+            }
+        );
     }
 
     #[test]
@@ -501,8 +643,15 @@ mod tests {
         for q in ["//a/*//b", "//a//*/b", "//a//*//b"] {
             let m = machine(q);
             assert_eq!(m.len(), 2, "{q}");
-            let b = m.by_tag.get("b").unwrap()[0];
-            assert_eq!(m.nodes[b].edge, EdgeCond { exact: false, dist: 2 }, "{q}");
+            let b = tag_node(&m, "b");
+            assert_eq!(
+                m.nodes[b].edge,
+                EdgeCond {
+                    exact: false,
+                    dist: 2
+                },
+                "{q}"
+            );
         }
     }
 
@@ -510,8 +659,14 @@ mod tests {
     fn multiple_folded_wildcards_accumulate_distance() {
         let m = machine("/a/*/*/*/b");
         assert_eq!(m.len(), 2);
-        let b = m.by_tag.get("b").unwrap()[0];
-        assert_eq!(m.nodes[b].edge, EdgeCond { exact: true, dist: 4 });
+        let b = tag_node(&m, "b");
+        assert_eq!(
+            m.nodes[b].edge,
+            EdgeCond {
+                exact: true,
+                dist: 4
+            }
+        );
     }
 
     #[test]
@@ -520,7 +675,13 @@ mod tests {
         let m = machine("/*/a");
         assert_eq!(m.len(), 1);
         assert_eq!(m.nodes[m.root].name, NameTest::Tag("a".into()));
-        assert_eq!(m.nodes[m.root].edge, EdgeCond { exact: true, dist: 2 });
+        assert_eq!(
+            m.nodes[m.root].edge,
+            EdgeCond {
+                exact: true,
+                dist: 2
+            }
+        );
     }
 
     #[test]
@@ -550,8 +711,14 @@ mod tests {
         // [*/d]: the interior `*` folds; d hangs off `a` at distance 2.
         let m = machine("//a[*/d]");
         assert_eq!(m.len(), 2);
-        let d = m.by_tag.get("d").unwrap()[0];
-        assert_eq!(m.nodes[d].edge, EdgeCond { exact: true, dist: 2 });
+        let d = tag_node(&m, "d");
+        assert_eq!(
+            m.nodes[d].edge,
+            EdgeCond {
+                exact: true,
+                dist: 2
+            }
+        );
         // a's single predicate slot now points at d's machine node.
         assert!(matches!(m.nodes[m.root].conditions[0], QCond::Child(t) if t == d));
         assert_eq!(m.nodes[d].parent_slot, Some(0));
@@ -562,17 +729,29 @@ mod tests {
         // Figure 4: a's conditions are [d, b]; d gets slot 0, b slot 1.
         let m = machine("//a[d]//b[e]//c");
         assert_eq!(m.len(), 5);
-        let d = m.by_tag.get("d").unwrap()[0];
-        let b = m.by_tag.get("b").unwrap()[0];
-        let e = m.by_tag.get("e").unwrap()[0];
-        let c = m.by_tag.get("c").unwrap()[0];
+        let d = tag_node(&m, "d");
+        let b = tag_node(&m, "b");
+        let e = tag_node(&m, "e");
+        let c = tag_node(&m, "c");
         assert_eq!(m.nodes[d].parent_slot, Some(0));
         assert_eq!(m.nodes[b].parent_slot, Some(1));
         assert_eq!(m.nodes[e].parent_slot, Some(0));
         assert_eq!(m.nodes[c].parent_slot, Some(1));
         // Predicate edges are exact ((=, 1)); spine edges are (≥, 1).
-        assert_eq!(m.nodes[d].edge, EdgeCond { exact: true, dist: 1 });
-        assert_eq!(m.nodes[b].edge, EdgeCond { exact: false, dist: 1 });
+        assert_eq!(
+            m.nodes[d].edge,
+            EdgeCond {
+                exact: true,
+                dist: 1
+            }
+        );
+        assert_eq!(
+            m.nodes[b].edge,
+            EdgeCond {
+                exact: false,
+                dist: 1
+            }
+        );
     }
 
     #[test]
@@ -607,11 +786,17 @@ mod tests {
 
     #[test]
     fn edge_cond_tests() {
-        let exact = EdgeCond { exact: true, dist: 2 };
+        let exact = EdgeCond {
+            exact: true,
+            dist: 2,
+        };
         assert!(exact.test(2));
         assert!(!exact.test(3));
         assert!(!exact.test(1));
-        let geq = EdgeCond { exact: false, dist: 2 };
+        let geq = EdgeCond {
+            exact: false,
+            dist: 2,
+        };
         assert!(geq.test(2));
         assert!(geq.test(9));
         assert!(!geq.test(1));

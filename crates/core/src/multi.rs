@@ -13,11 +13,11 @@
 //! `Σ|Qᵢ|`, which is what makes hundreds of standing queries practical —
 //! the shape YFilter obtains by sharing automaton prefixes.
 
-use twigm_sax::{Attribute, NodeId};
+use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
-use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::machine::{Machine, MachineError, MNode};
+use crate::fxhash::FxHashSet;
+use crate::machine::{MNode, Machine, MachineError};
 use crate::query::QCond;
 use crate::stats::EngineStats;
 
@@ -70,8 +70,15 @@ struct QueryState {
 /// ```
 pub struct MultiTwigM {
     queries: Vec<QueryState>,
-    /// Dispatch: tag → (query, machine node) pairs with that tag.
-    by_tag: FxHashMap<String, Vec<(usize, usize)>>,
+    /// The symbol space shared by every registered machine.
+    table: SymbolTable,
+    /// Dense dispatch: symbol index → (query, machine node) pairs with
+    /// that tag, across all registered queries.
+    by_sym: Vec<Vec<(usize, usize)>>,
+    /// Per symbol index: some dispatched node tests attributes.
+    attr_syms: Vec<bool>,
+    /// Some wildcard node tests attributes.
+    attr_wild: bool,
     /// (query, machine node) pairs labelled `*`.
     wildcards: Vec<(usize, usize)>,
     /// (query, machine node) pairs that accumulate text.
@@ -93,7 +100,10 @@ impl MultiTwigM {
     pub fn new() -> Self {
         MultiTwigM {
             queries: Vec::new(),
-            by_tag: FxHashMap::default(),
+            table: SymbolTable::new(),
+            by_sym: Vec::new(),
+            attr_syms: Vec::new(),
+            attr_wild: false,
             wildcards: Vec::new(),
             text_nodes: Vec::new(),
             depth: 0,
@@ -124,14 +134,23 @@ impl MultiTwigM {
             self.depth, 0,
             "queries must be registered between documents"
         );
-        let machine = Machine::from_path(query)?;
+        let machine = Machine::from_path_in(query, &mut self.table)?;
         let qid = self.queries.len();
+        // Grow the dense tables to the (append-only) shared symbol space.
+        if self.by_sym.len() < self.table.len() {
+            self.by_sym.resize(self.table.len(), Vec::new());
+            self.attr_syms.resize(self.table.len(), false);
+        }
         for (v, node) in machine.nodes.iter().enumerate() {
-            match &node.name {
-                twigm_xpath::NameTest::Tag(t) => {
-                    self.by_tag.entry(t.clone()).or_default().push((qid, v));
+            match node.sym.index() {
+                Some(i) => {
+                    self.by_sym[i].push((qid, v));
+                    self.attr_syms[i] |= !node.start_conds.is_empty();
                 }
-                twigm_xpath::NameTest::Wildcard => self.wildcards.push((qid, v)),
+                None => {
+                    self.wildcards.push((qid, v));
+                    self.attr_wild |= !node.start_conds.is_empty();
+                }
             }
             if node.needs_text {
                 self.text_nodes.push((qid, v));
@@ -154,6 +173,23 @@ impl MultiTwigM {
         self.queries.len()
     }
 
+    /// The symbol space shared by every registered machine. Callers
+    /// driving the engine event by event can look a tag up once and use
+    /// the `_sym` entry points.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Whether a start event with this symbol needs its attributes
+    /// collected by the driver.
+    pub fn needs_attributes(&self, sym: Symbol) -> bool {
+        self.attr_wild
+            || match sym.index() {
+                Some(i) if i < self.attr_syms.len() => self.attr_syms[i],
+                _ => false,
+            }
+    }
+
     /// Work counters (aggregated over all queries).
     pub fn stats(&self) -> &EngineStats {
         &self.stats
@@ -173,13 +209,20 @@ impl MultiTwigM {
         while let Some(event) = reader.next_event()? {
             match event {
                 twigm_sax::Event::Start(tag) => {
+                    // One interner lookup per event; attribute decoding
+                    // is skipped when no dispatched node tests them.
+                    let sym = self.table.lookup(tag.name());
                     let mut attrs: Vec<Attribute<'_>> = Vec::new();
-                    for a in tag.attributes() {
-                        attrs.push(a?);
+                    if self.needs_attributes(sym) {
+                        for a in tag.attributes() {
+                            attrs.push(a?);
+                        }
                     }
-                    self.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                    self.start_element_sym(sym, &attrs, tag.level(), tag.id());
                 }
-                twigm_sax::Event::End(tag) => self.end_element(tag.name(), tag.level()),
+                twigm_sax::Event::End(tag) => {
+                    self.end_element_sym(self.table.lookup(tag.name()), tag.level())
+                }
                 twigm_sax::Event::Text(t) => self.text(&t),
                 _ => {}
             }
@@ -187,21 +230,19 @@ impl MultiTwigM {
         Ok(self.take_tagged_results())
     }
 
-    /// Visits the dispatch list for a tag: nodes named `tag`, then
+    /// Visits the dispatch list for a symbol: nodes tagged `sym`, then
     /// wildcard nodes. Borrows only the index fields, so callers can
     /// mutate `queries`/`stats` while iterating.
     fn dispatch<'a>(
-        by_tag: &'a crate::fxhash::FxHashMap<String, Vec<(usize, usize)>>,
+        by_sym: &'a [Vec<(usize, usize)>],
         wildcards: &'a [(usize, usize)],
-        tag: &str,
+        sym: Symbol,
     ) -> impl Iterator<Item = (usize, usize)> + 'a {
-        by_tag
-            .get(tag)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
-            .iter()
-            .copied()
-            .chain(wildcards.iter().copied())
+        let tagged: &[(usize, usize)] = match sym.index() {
+            Some(i) if i < by_sym.len() => &by_sym[i],
+            _ => &[],
+        };
+        tagged.iter().copied().chain(wildcards.iter().copied())
     }
 
     fn initial_slots(node: &MNode, attrs: &[Attribute<'_>]) -> u64 {
@@ -224,10 +265,17 @@ impl MultiTwigM {
         slots
     }
 
-    /// δs, applied across all registered machines via the shared index.
-    pub fn start_element(
+    /// δs via the string path: one interner lookup, then symbol
+    /// dispatch.
+    pub fn start_element(&mut self, tag: &str, attrs: &[Attribute<'_>], level: u32, id: NodeId) {
+        self.start_element_sym(self.table.lookup(tag), attrs, level, id)
+    }
+
+    /// δs, applied across all registered machines via the shared dense
+    /// index.
+    pub fn start_element_sym(
         &mut self,
-        tag: &str,
+        sym: Symbol,
         attrs: &[Attribute<'_>],
         level: u32,
         id: NodeId,
@@ -246,15 +294,14 @@ impl MultiTwigM {
                 counts[level as usize] = 0;
             }
         }
-        for (qid, v) in Self::dispatch(&self.by_tag, &self.wildcards, tag) {
+        for (qid, v) in Self::dispatch(&self.by_sym, &self.wildcards, sym) {
             if self.filter_mode && self.matched[qid] {
                 continue;
             }
             let state = &mut self.queries[qid];
+            // Dispatch guarantees the name matches: tag entries by
+            // construction, wildcard entries always.
             let node = &state.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue; // wildcard list entries always match; tag list by construction
-            }
             let qualified = match node.parent {
                 None => {
                     self.stats.qualification_probes += 1;
@@ -319,11 +366,17 @@ impl MultiTwigM {
         }
     }
 
-    /// δe, applied across all registered machines via the shared index.
+    /// δe via the string path.
     pub fn end_element(&mut self, tag: &str, level: u32) {
+        self.end_element_sym(self.table.lookup(tag), level)
+    }
+
+    /// δe, applied across all registered machines via the shared dense
+    /// index.
+    pub fn end_element_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
-        for (qid, v) in Self::dispatch(&self.by_tag, &self.wildcards, tag) {
+        for (qid, v) in Self::dispatch(&self.by_sym, &self.wildcards, sym) {
             if self.filter_mode && self.matched[qid] {
                 // A matched filter query still needs its stacks unwound so
                 // the engine is clean for the next document; popping by
@@ -338,9 +391,6 @@ impl MultiTwigM {
             }
             let state = &mut self.queries[qid];
             let node = &state.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let Some(top) = state.stacks[v].last() else {
                 continue;
             };
@@ -353,9 +403,7 @@ impl MultiTwigM {
             for &i in &node.text_conds {
                 let ok = match &node.conditions[i] {
                     QCond::TextExists => !entry.text.is_empty(),
-                    QCond::TextCmp(op, lit) => {
-                        !entry.text.is_empty() && op.eval(&entry.text, lit)
-                    }
+                    QCond::TextCmp(op, lit) => !entry.text.is_empty() && op.eval(&entry.text, lit),
                     QCond::TextFn(func, arg) => {
                         !entry.text.is_empty() && func.eval(&entry.text, arg)
                     }

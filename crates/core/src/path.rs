@@ -7,7 +7,7 @@
 //! arrives — maximally incremental output, which is why [`crate::Engine`]
 //! prefers PathM whenever the query allows it.
 
-use twigm_sax::{Attribute, NodeId};
+use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
 use crate::engine::StreamEngine;
@@ -55,21 +55,21 @@ impl PathM {
     }
 }
 
-impl StreamEngine for PathM {
-    fn start_element(
-        &mut self,
-        tag: &str,
-        _attrs: &[Attribute<'_>],
-        level: u32,
-        id: NodeId,
-    ) -> bool {
+impl PathM {
+    /// δs, dispatching on an interned symbol (dense tables, no per-node
+    /// string compares).
+    fn start_sym(&mut self, sym: Symbol, level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         let mut matched_sol = false;
-        for v in 0..self.machine.len() {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let qualified = match node.parent {
                 None => {
                     self.stats.qualification_probes += 1;
@@ -104,19 +104,65 @@ impl StreamEngine for PathM {
         matched_sol
     }
 
-    fn end_element(&mut self, tag: &str, level: u32) {
+    /// δe, dispatching on an interned symbol.
+    fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
-        for v in 0..self.machine.len() {
-            let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             if self.stacks[v].last() == Some(&level) {
                 self.stacks[v].pop();
                 self.stats.pops += 1;
                 self.live_entries -= 1;
             }
         }
+    }
+}
+
+impl StreamEngine for PathM {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        _attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        let sym = self.machine.symbols().lookup(tag);
+        self.start_sym(sym, level, id)
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        _tag: &str,
+        _attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.start_sym(sym, level, id)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        let sym = self.machine.symbols().lookup(tag);
+        self.end_sym(sym, level)
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, _tag: &str, level: u32) {
+        self.end_sym(sym, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        Some(self.machine.symbols())
+    }
+
+    fn needs_attributes(&self, _sym: Symbol) -> bool {
+        // Predicate-free queries never inspect attributes.
+        false
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {

@@ -116,9 +116,12 @@ pub struct QNode {
 impl QNode {
     /// True if any condition requires the element's text content.
     pub fn needs_text(&self) -> bool {
-        self.conditions
-            .iter()
-            .any(|c| matches!(c, QCond::TextExists | QCond::TextCmp(..) | QCond::TextFn(..)))
+        self.conditions.iter().any(|c| {
+            matches!(
+                c,
+                QCond::TextExists | QCond::TextCmp(..) | QCond::TextFn(..)
+            )
+        })
     }
 }
 
@@ -278,9 +281,7 @@ impl QueryTree {
             Some(match terminal {
                 Terminal::Exists => QCond::AttrExists(attr.clone()),
                 Terminal::Cmp(op, lit) => QCond::AttrCmp(attr.clone(), op, lit.clone()),
-                Terminal::Fn(func, arg) => {
-                    QCond::AttrFn(attr.clone(), func, arg.to_string())
-                }
+                Terminal::Fn(func, arg) => QCond::AttrFn(attr.clone(), func, arg.to_string()),
             })
         } else if value.text {
             Some(match terminal {

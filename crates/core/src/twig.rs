@@ -30,12 +30,12 @@
 //! the machine root to pop (see `eager_deliver`'s internal docs and
 //! experiment E11).
 
-use twigm_sax::{Attribute, NodeId};
+use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
 use crate::engine::StreamEngine;
 use crate::fxhash::FxHashSet;
-use crate::machine::{Machine, MachineError, MNode};
+use crate::machine::{MNode, Machine, MachineError};
 use crate::query::QCond;
 use crate::stats::EngineStats;
 
@@ -153,12 +153,8 @@ impl TwigM {
                 QCond::TextExists => !entry.text.is_empty(),
                 // XPath comparisons over an empty node-set are false, so
                 // a text test requires text to exist, even for `!=`.
-                QCond::TextCmp(op, lit) => {
-                    !entry.text.is_empty() && op.eval(&entry.text, lit)
-                }
-                QCond::TextFn(func, arg) => {
-                    !entry.text.is_empty() && func.eval(&entry.text, arg)
-                }
+                QCond::TextCmp(op, lit) => !entry.text.is_empty() && op.eval(&entry.text, lit),
+                QCond::TextFn(func, arg) => !entry.text.is_empty() && func.eval(&entry.text, arg),
                 _ => unreachable!("text_conds holds only text conditions"),
             };
             if satisfied {
@@ -201,17 +197,14 @@ impl TwigM {
             let formula = &pnode.formula;
             let mut next_levels: Vec<u32> = Vec::new();
             for e in self.stacks[p].iter_mut() {
-                let qualifies = levels
-                    .iter()
-                    .any(|&l| edge.test(l as i64 - e.level as i64));
+                let qualifies = levels.iter().any(|&l| edge.test(l as i64 - e.level as i64));
                 if !qualifies {
                     continue;
                 }
                 if eager_safe && formula.eval(e.slots | spine_mask) {
                     next_levels.push(e.level);
                 } else {
-                    let inserted =
-                        Self::merge_candidates(&mut e.candidates, &cands, &self.emitted);
+                    let inserted = Self::merge_candidates(&mut e.candidates, &cands, &self.emitted);
                     self.stats.candidates_merged += inserted;
                     self.live_candidates += inserted;
                 }
@@ -262,7 +255,11 @@ impl TwigM {
         dst.reserve(old.len() + src.len());
         let mut inserted = 0;
         let mut a = old.into_iter().peekable();
-        let mut b = src.iter().copied().filter(|id| !emitted.contains(id)).peekable();
+        let mut b = src
+            .iter()
+            .copied()
+            .filter(|id| !emitted.contains(id))
+            .peekable();
         loop {
             match (a.peek(), b.peek()) {
                 (Some(&x), Some(&y)) => {
@@ -297,15 +294,11 @@ impl TwigM {
     }
 }
 
-impl StreamEngine for TwigM {
-    /// δs (Algorithm 1).
-    fn start_element(
-        &mut self,
-        tag: &str,
-        attrs: &[Attribute<'_>],
-        level: u32,
-        id: NodeId,
-    ) -> bool {
+impl TwigM {
+    /// δs (Algorithm 1), dispatching on an interned symbol: the nodes
+    /// tagged `sym` plus the wildcard nodes, via dense table indexing —
+    /// no per-node string compare, no allocation for non-matching tags.
+    fn start_sym(&mut self, sym: Symbol, attrs: &[Attribute<'_>], level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         self.depth = level;
         let mut became_candidate = false;
@@ -318,14 +311,19 @@ impl StreamEngine for TwigM {
             }
             counts[level as usize] = 0;
         }
-        // Dispatch to machine nodes labelled `tag` or `*`.
-        let node_count = self.machine.len();
-        for v in 0..node_count {
-            // Cheap name filter without allocating the dispatch list.
+        // Dispatch to machine nodes labelled `sym` or `*`. (Indexing by
+        // position instead of holding the slice keeps `self` free for
+        // the mutations below; `tag_nodes` is a bounds-checked array
+        // access, so re-reading it is cheap.)
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let qualified = match node.parent {
                 None => {
                     self.stats.qualification_probes += 1;
@@ -396,29 +394,19 @@ impl StreamEngine for TwigM {
         became_candidate
     }
 
-    /// Routes character data to entries that accumulate text: the top
-    /// entry of a text-needing node, if it corresponds to the innermost
-    /// open element.
-    fn text(&mut self, text: &str) {
-        for &v in self.machine.text_nodes() {
-            if let Some(top) = self.stacks[v].last_mut() {
-                if top.level == self.depth {
-                    top.text.push_str(text);
-                }
-            }
-        }
-    }
-
-    /// δe (Algorithm 1).
-    fn end_element(&mut self, tag: &str, level: u32) {
+    /// δe (Algorithm 1), dispatching on an interned symbol.
+    fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
-        let node_count = self.machine.len();
-        for v in 0..node_count {
+        let n_tag = self.machine.tag_nodes(sym).len();
+        let n_wild = self.machine.wildcards().len();
+        for i in 0..n_tag + n_wild {
+            let v = if i < n_tag {
+                self.machine.tag_nodes(sym)[i]
+            } else {
+                self.machine.wildcards()[i - n_tag]
+            };
             let node = &self.machine.nodes[v];
-            if !node.name.matches(tag) {
-                continue;
-            }
             let Some(top) = self.stacks[v].last() else {
                 continue;
             };
@@ -474,13 +462,14 @@ impl StreamEngine for TwigM {
                             Some(ci) => e.counts[ci] += 1,
                             None => e.slots |= slot_bit,
                         }
-                        let inserted =
-                            Self::merge_candidates(&mut e.candidates, &entry.candidates, &self.emitted);
+                        let inserted = Self::merge_candidates(
+                            &mut e.candidates,
+                            &entry.candidates,
+                            &self.emitted,
+                        );
                         self.stats.candidates_merged += inserted;
                         self.live_candidates += inserted;
-                        if p_eager
-                            && !e.candidates.is_empty()
-                            && p_formula.eval(e.slots | p_spine)
+                        if p_eager && !e.candidates.is_empty() && p_formula.eval(e.slots | p_spine)
                         {
                             let cands = std::mem::take(&mut e.candidates);
                             self.live_candidates -= cands.len() as u64;
@@ -500,6 +489,64 @@ impl StreamEngine for TwigM {
             self.emitted.clear();
             self.live_candidates = 0;
         }
+    }
+}
+
+impl StreamEngine for TwigM {
+    /// δs via the string path: one interner lookup, then symbol dispatch.
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        let sym = self.machine.symbols().lookup(tag);
+        self.start_sym(sym, attrs, level, id)
+    }
+
+    /// δs via a pre-looked-up symbol (the driver's hot path).
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        _tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.start_sym(sym, attrs, level, id)
+    }
+
+    /// Routes character data to entries that accumulate text: the top
+    /// entry of a text-needing node, if it corresponds to the innermost
+    /// open element.
+    fn text(&mut self, text: &str) {
+        for &v in self.machine.text_nodes() {
+            if let Some(top) = self.stacks[v].last_mut() {
+                if top.level == self.depth {
+                    top.text.push_str(text);
+                }
+            }
+        }
+    }
+
+    /// δe via the string path.
+    fn end_element(&mut self, tag: &str, level: u32) {
+        let sym = self.machine.symbols().lookup(tag);
+        self.end_sym(sym, level)
+    }
+
+    /// δe via a pre-looked-up symbol.
+    fn end_element_sym(&mut self, sym: Symbol, _tag: &str, level: u32) {
+        self.end_sym(sym, level)
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        Some(self.machine.symbols())
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        self.machine.needs_attributes(sym)
     }
 
     fn take_results(&mut self) -> Vec<NodeId> {

@@ -58,7 +58,11 @@ pub fn dtd() -> Dtd {
             Particle::new("quantity", Occurs::One),
         ])
         .with_attr("id", AttrGen::Id("item".into()), 1.0)
-        .with_attr("featured", AttrGen::Choice(vec!["yes".into(), "no".into()]), 0.3),
+        .with_attr(
+            "featured",
+            AttrGen::Choice(vec!["yes".into(), "no".into()]),
+            0.3,
+        ),
     );
     dtd.element("location", ElementDef::pcdata(TextGen::Words(1, 2)));
     dtd.element("name", ElementDef::pcdata(TextGen::Words(2, 4)));
@@ -127,7 +131,10 @@ pub fn dtd() -> Dtd {
         .with_attr("id", AttrGen::Id("person".into()), 1.0),
     );
     dtd.element("emailaddress", ElementDef::pcdata(TextGen::Words(1, 1)));
-    dtd.element("phone", ElementDef::pcdata(TextGen::Int(1_000_000, 9_999_999)));
+    dtd.element(
+        "phone",
+        ElementDef::pcdata(TextGen::Int(1_000_000, 9_999_999)),
+    );
     dtd.element(
         "address",
         ElementDef::seq(vec![
@@ -198,12 +205,15 @@ pub fn dtd() -> Dtd {
         ]),
     );
     dtd.element("date", ElementDef::pcdata(TextGen::Date));
-    dtd.element("time", ElementDef::pcdata(TextGen::Choice(vec![
-        "09:15:00".into(),
-        "12:00:00".into(),
-        "18:30:00".into(),
-        "22:45:00".into(),
-    ])));
+    dtd.element(
+        "time",
+        ElementDef::pcdata(TextGen::Choice(vec![
+            "09:15:00".into(),
+            "12:00:00".into(),
+            "18:30:00".into(),
+            "22:45:00".into(),
+        ])),
+    );
     dtd.element(
         "personref",
         ElementDef::empty().with_attr("person", AttrGen::Ref("person".into(), REF_POOL), 1.0),
@@ -268,7 +278,10 @@ mod tests {
     #[test]
     fn only_parlist_recursion() {
         let recursive = dtd().recursive_elements();
-        assert_eq!(recursive, vec!["listitem".to_string(), "parlist".to_string()]);
+        assert_eq!(
+            recursive,
+            vec!["listitem".to_string(), "parlist".to_string()]
+        );
     }
 
     #[test]

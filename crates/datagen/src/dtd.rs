@@ -195,9 +195,10 @@ impl Dtd {
             return false;
         }
         visiting.push(from.to_string());
-        let result = self.children_of(from).iter().any(|c| {
-            c == target || self.reaches(c, target, visiting)
-        });
+        let result = self
+            .children_of(from)
+            .iter()
+            .any(|c| c == target || self.reaches(c, target, visiting));
         visiting.pop();
         result
     }

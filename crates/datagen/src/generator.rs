@@ -9,10 +9,9 @@
 use std::collections::HashMap;
 use std::io::{self, Write};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use twigm_sax::XmlWriter;
+
+use crate::rng::SplitMix64;
 
 use crate::dtd::{AttrGen, Content, Dtd, Occurs, TextGen};
 use crate::words;
@@ -79,7 +78,7 @@ impl<W: Write> Write for CountingWriter<W> {
 pub struct Generator<'d> {
     dtd: &'d Dtd,
     config: GenConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     id_counters: HashMap<String, u64>,
     elements: u64,
     max_depth: u32,
@@ -89,7 +88,7 @@ pub struct Generator<'d> {
 impl<'d> Generator<'d> {
     /// Creates a generator.
     pub fn new(dtd: &'d Dtd, config: GenConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = SplitMix64::seed_from_u64(config.seed);
         Generator {
             dtd,
             config,
@@ -150,7 +149,7 @@ impl<'d> Generator<'d> {
         self.elements += 1;
         self.max_depth = self.max_depth.max(depth);
         for attr in &attrs {
-            if attr.presence < 1.0 && self.rng.gen::<f64>() > attr.presence {
+            if attr.presence < 1.0 && self.rng.next_f64() > attr.presence {
                 continue;
             }
             let value = self.attr_value(&attr.gen);
@@ -182,9 +181,9 @@ impl<'d> Generator<'d> {
             }
             Content::Choice { options, rounds } => {
                 if !at_limit {
-                    let n = self.rng.gen_range(rounds.0..=rounds.1);
+                    let n = self.rng.range_usize(rounds.0, rounds.1);
                     for _ in 0..n {
-                        let pick = self.rng.gen_range(0..options.len());
+                        let pick = self.rng.index(options.len());
                         let p = &options[pick];
                         let count = self.occurs_count(p.occurs);
                         for _ in 0..count {
@@ -201,8 +200,8 @@ impl<'d> Generator<'d> {
         match occurs {
             Occurs::One => 1,
             Occurs::Opt => usize::from(self.rng.gen_bool(0.5)),
-            Occurs::Star => self.rng.gen_range(0..=self.config.max_repeats),
-            Occurs::Plus => self.rng.gen_range(1..=self.config.max_repeats),
+            Occurs::Star => self.rng.range_usize(0, self.config.max_repeats),
+            Occurs::Plus => self.rng.range_usize(1, self.config.max_repeats),
         }
     }
 
@@ -215,12 +214,10 @@ impl<'d> Generator<'d> {
                 value
             }
             AttrGen::Ref(prefix, pool) => {
-                format!("{prefix}{}", self.rng.gen_range(0..*pool))
+                format!("{prefix}{}", self.rng.index(*pool))
             }
-            AttrGen::Int(lo, hi) => self.rng.gen_range(*lo..=*hi).to_string(),
-            AttrGen::Choice(options) => {
-                options[self.rng.gen_range(0..options.len())].clone()
-            }
+            AttrGen::Int(lo, hi) => self.rng.range_i64(*lo, *hi).to_string(),
+            AttrGen::Choice(options) => options[self.rng.index(options.len())].clone(),
             AttrGen::Word => words::word(&mut self.rng).to_string(),
         }
     }
@@ -229,21 +226,21 @@ impl<'d> Generator<'d> {
         match gen {
             TextGen::Words(lo, hi) => {
                 let n = if hi > lo {
-                    self.rng.gen_range(*lo..=*hi)
+                    self.rng.range_usize(*lo, *hi)
                 } else {
                     *lo
                 };
                 words::push_words(out, &mut self.rng, n);
             }
             TextGen::Int(lo, hi) => {
-                out.push_str(&self.rng.gen_range(*lo..=*hi).to_string());
+                out.push_str(&self.rng.range_i64(*lo, *hi).to_string());
             }
             TextGen::Date => out.push_str(&words::date(&mut self.rng)),
             TextGen::Choice(options) => {
-                out.push_str(&options[self.rng.gen_range(0..options.len())]);
+                out.push_str(&options[self.rng.index(options.len())]);
             }
             TextGen::Residues(lo, hi) => {
-                let n = self.rng.gen_range(*lo..=*hi);
+                let n = self.rng.range_usize(*lo, *hi);
                 out.push_str(&words::residues(&mut self.rng, n));
             }
         }
@@ -259,8 +256,11 @@ mod tests {
         let mut dtd = Dtd::new("root", "rec");
         dtd.element(
             "rec",
-            ElementDef::seq(vec![Particle::new("v", Occurs::Plus)])
-                .with_attr("id", AttrGen::Id("r".into()), 1.0),
+            ElementDef::seq(vec![Particle::new("v", Occurs::Plus)]).with_attr(
+                "id",
+                AttrGen::Id("r".into()),
+                1.0,
+            ),
         );
         dtd.element("v", ElementDef::pcdata(TextGen::Int(0, 9)));
         dtd

@@ -31,9 +31,11 @@ pub mod dtd;
 pub mod generator;
 pub mod protein;
 pub mod recursive;
+pub mod rng;
 mod words;
 
 pub use generator::{GenConfig, GenReport, Generator};
+pub use rng::SplitMix64;
 
 /// The three paper datasets, for harness iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -37,7 +37,10 @@ pub fn dtd() -> Dtd {
         ]),
     );
     dtd.element("uid", ElementDef::pcdata(TextGen::Int(100_000, 999_999)));
-    dtd.element("accession", ElementDef::pcdata(TextGen::Int(10_000, 99_999)));
+    dtd.element(
+        "accession",
+        ElementDef::pcdata(TextGen::Int(10_000, 99_999)),
+    );
     dtd.element(
         "protein",
         ElementDef::seq(vec![Particle::new("name", Occurs::One)]),
@@ -75,15 +78,15 @@ pub fn dtd() -> Dtd {
     );
     dtd.element("author", ElementDef::pcdata(TextGen::Words(2, 2)));
     dtd.element("title", ElementDef::pcdata(TextGen::Words(4, 10)));
-    dtd.element(
-        "citation",
-        ElementDef::pcdata(TextGen::Words(2, 4)),
-    );
+    dtd.element("citation", ElementDef::pcdata(TextGen::Words(2, 4)));
     dtd.element("year", ElementDef::pcdata(TextGen::Int(1970, 2006)));
     dtd.element(
         "accinfo",
-        ElementDef::seq(vec![Particle::new("mol-type", Occurs::One)])
-            .with_attr("accession", AttrGen::Int(10_000, 99_999), 1.0),
+        ElementDef::seq(vec![Particle::new("mol-type", Occurs::One)]).with_attr(
+            "accession",
+            AttrGen::Int(10_000, 99_999),
+            1.0,
+        ),
     );
     dtd.element(
         "mol-type",
@@ -118,10 +121,7 @@ pub fn dtd() -> Dtd {
     dtd.element("length", ElementDef::pcdata(TextGen::Int(50, 3_000)));
     dtd.element(
         "type",
-        ElementDef::pcdata(TextGen::Choice(vec![
-            "protein".into(),
-            "fragment".into(),
-        ])),
+        ElementDef::pcdata(TextGen::Choice(vec!["protein".into(), "fragment".into()])),
     );
     dtd.element("sequence", ElementDef::pcdata(TextGen::Residues(60, 400)));
     dtd

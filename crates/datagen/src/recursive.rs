@@ -4,8 +4,7 @@
 
 use std::io::{self, Write};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Writes the paper's figure 1(a) document for a given `n`:
 ///
@@ -60,14 +59,14 @@ pub fn random_recursive(
     tags: &[&str],
     out: &mut dyn Write,
 ) -> io::Result<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut count = 0;
     write_node(&mut rng, 1, depth, fanout, tags, out, &mut count)?;
     Ok(count)
 }
 
 fn write_node(
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     level: u32,
     max_depth: u32,
     fanout: usize,
@@ -75,11 +74,11 @@ fn write_node(
     out: &mut dyn Write,
     count: &mut u64,
 ) -> io::Result<()> {
-    let tag = tags[rng.gen_range(0..tags.len())];
+    let tag = tags[rng.index(tags.len())];
     *count += 1;
     write!(out, "<{tag}>")?;
     if level < max_depth {
-        let children = rng.gen_range(0..=fanout);
+        let children = rng.range_usize(0, fanout);
         for _ in 0..children {
             write_node(rng, level + 1, max_depth, fanout, tags, out, count)?;
         }

@@ -1,0 +1,134 @@
+//! A tiny deterministic PRNG so the workspace needs no `rand` dependency.
+//!
+//! The generators only need reproducible, well-mixed streams — not
+//! cryptographic strength — so SplitMix64 (Steele, Lea & Flood 2014; the
+//! same finalizer used to seed xoshiro/xoroshiro) is plenty: one 64-bit
+//! state word, an additive Weyl sequence, and a murmur-style avalanche.
+//! It is exported publicly so integration tests can drive seeded
+//! document×query sweeps without their own RNG.
+
+/// SplitMix64 pseudo-random generator: 64 bits of state, period 2^64.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds produce equal streams
+    /// on every platform (the algorithm is fully defined over wrapping
+    /// 64-bit arithmetic).
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of randomness).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform index in `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index() needs a non-empty range");
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// A uniform `usize` in the inclusive range `lo..=hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform `i64` in the inclusive range `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi);
+        // `hi - lo` can overflow i64 for extreme ranges; go through the
+        // unsigned offset instead.
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let offset = (self.next_u64() as u128 % span) as i128;
+        (lo as i128 + offset) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn reference_values_are_stable() {
+        // First outputs for seed 1234567, from the published SplitMix64
+        // reference implementation. Pins the algorithm across refactors
+        // (generated datasets must stay byte-identical for a given seed).
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn f64_and_ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let u = rng.range_usize(3, 9);
+            assert!((3..=9).contains(&u));
+            if u == 3 {
+                seen_low = true;
+            }
+            if u == 9 {
+                seen_high = true;
+            }
+            let i = rng.range_i64(-5, 5);
+            assert!((-5..=5).contains(&i));
+            let idx = rng.index(4);
+            assert!(idx < 4);
+        }
+        assert!(seen_low && seen_high, "inclusive bounds must be reachable");
+    }
+
+    #[test]
+    fn extreme_i64_range_does_not_overflow() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        for _ in 0..100 {
+            let _ = rng.range_i64(i64::MIN, i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} of 10000");
+    }
+}

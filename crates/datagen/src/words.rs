@@ -1,72 +1,112 @@
 //! A small fixed lexicon for generated text, plus text helpers.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// The word pool. Deliberately small so value predicates
 /// (`[text() = '...']`) have usable selectivities.
 pub(crate) const WORDS: &[&str] = &[
-    "stream", "query", "index", "buffer", "schema", "element", "pattern",
-    "match", "stack", "candidate", "predicate", "axis", "wildcard", "node",
-    "branch", "twig", "machine", "state", "event", "parser", "document",
-    "level", "depth", "prefix", "suffix", "subquery", "solution", "engine",
-    "memory", "scan", "order", "result", "output", "input", "recursive",
-    "linear", "auction", "protein", "sequence", "market", "network",
-    "sensor", "monitor", "exchange", "standard", "analysis", "theory",
-    "practice", "system", "design",
+    "stream",
+    "query",
+    "index",
+    "buffer",
+    "schema",
+    "element",
+    "pattern",
+    "match",
+    "stack",
+    "candidate",
+    "predicate",
+    "axis",
+    "wildcard",
+    "node",
+    "branch",
+    "twig",
+    "machine",
+    "state",
+    "event",
+    "parser",
+    "document",
+    "level",
+    "depth",
+    "prefix",
+    "suffix",
+    "subquery",
+    "solution",
+    "engine",
+    "memory",
+    "scan",
+    "order",
+    "result",
+    "output",
+    "input",
+    "recursive",
+    "linear",
+    "auction",
+    "protein",
+    "sequence",
+    "market",
+    "network",
+    "sensor",
+    "monitor",
+    "exchange",
+    "standard",
+    "analysis",
+    "theory",
+    "practice",
+    "system",
+    "design",
 ];
 
 /// Writes `count` space-separated words chosen by `rng` into `out`.
-pub(crate) fn push_words(out: &mut String, rng: &mut StdRng, count: usize) {
+pub(crate) fn push_words(out: &mut String, rng: &mut SplitMix64, count: usize) {
     for i in 0..count {
         if i > 0 {
             out.push(' ');
         }
-        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        out.push_str(WORDS[rng.index(WORDS.len())]);
     }
 }
 
 /// A random word.
-pub(crate) fn word(rng: &mut StdRng) -> &'static str {
-    WORDS[rng.gen_range(0..WORDS.len())]
+pub(crate) fn word(rng: &mut SplitMix64) -> &'static str {
+    WORDS[rng.index(WORDS.len())]
 }
 
 /// A pseudo-date string `YYYY-MM-DD`.
-pub(crate) fn date(rng: &mut StdRng) -> String {
+pub(crate) fn date(rng: &mut SplitMix64) -> String {
     format!(
         "{:04}-{:02}-{:02}",
-        rng.gen_range(1998..2007),
-        rng.gen_range(1..13),
-        rng.gen_range(1..29)
+        rng.range_usize(1998, 2006),
+        rng.range_usize(1, 12),
+        rng.range_usize(1, 28)
     )
 }
 
 /// A random protein-like residue sequence of the given length.
-pub(crate) fn residues(rng: &mut StdRng, len: usize) -> String {
+pub(crate) fn residues(rng: &mut SplitMix64, len: usize) -> String {
     const ALPHABET: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
     (0..len)
-        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn words_are_deterministic_per_seed() {
         let mut a = String::new();
-        push_words(&mut a, &mut StdRng::seed_from_u64(7), 5);
+        push_words(&mut a, &mut SplitMix64::seed_from_u64(7), 5);
         let mut b = String::new();
-        push_words(&mut b, &mut StdRng::seed_from_u64(7), 5);
+        push_words(&mut b, &mut SplitMix64::seed_from_u64(7), 5);
         assert_eq!(a, b);
         assert_eq!(a.split(' ').count(), 5);
     }
 
     #[test]
     fn dates_are_well_formed() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for _ in 0..50 {
             let d = date(&mut rng);
             assert_eq!(d.len(), 10);
@@ -76,7 +116,7 @@ mod tests {
 
     #[test]
     fn residues_use_the_amino_alphabet() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let seq = residues(&mut rng, 100);
         assert_eq!(seq.len(), 100);
         assert!(seq.chars().all(|c| "ACDEFGHIKLMNPQRSTVWY".contains(c)));

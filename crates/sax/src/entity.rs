@@ -77,9 +77,7 @@ fn decode_into(
                     if out.len() > MAX_EXPANSION {
                         return Err(SaxError::Syntax {
                             offset,
-                            message: format!(
-                                "entity expansion exceeds {MAX_EXPANSION} bytes"
-                            ),
+                            message: format!("entity expansion exceeds {MAX_EXPANSION} bytes"),
                         });
                     }
                 }
@@ -99,7 +97,10 @@ fn decode_into(
 
 fn decode_char_ref(name: &str, offset: u64) -> SaxResult<char> {
     let digits = &name[1..];
-    let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+    let code = if let Some(hex) = digits
+        .strip_prefix('x')
+        .or_else(|| digits.strip_prefix('X'))
+    {
         u32::from_str_radix(hex, 16)
     } else {
         digits.parse::<u32>()
@@ -190,10 +191,7 @@ mod tests {
 
     #[test]
     fn entities_interleaved_with_text() {
-        assert_eq!(
-            decode_entities("a &amp; b &lt; c", 0).unwrap(),
-            "a & b < c"
-        );
+        assert_eq!(decode_entities("a &amp; b &lt; c", 0).unwrap(), "a & b < c");
     }
 
     #[test]

@@ -101,14 +101,20 @@ impl fmt::Display for SaxError {
                 "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
             ),
             SaxError::UnexpectedEndTag { offset, found } => {
-                write!(f, "end tag </{found}> at byte {offset} with no open element")
+                write!(
+                    f,
+                    "end tag </{found}> at byte {offset} with no open element"
+                )
             }
             SaxError::UnexpectedEof { open_element } => match open_element {
                 Some(name) => write!(f, "unexpected end of stream: <{name}> is still open"),
                 None => write!(f, "unexpected end of stream"),
             },
             SaxError::TextOutsideRoot { offset } => {
-                write!(f, "character data outside the root element at byte {offset}")
+                write!(
+                    f,
+                    "character data outside the root element at byte {offset}"
+                )
             }
             SaxError::MultipleRoots { offset, name } => {
                 write!(f, "second root element <{name}> at byte {offset}")

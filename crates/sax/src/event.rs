@@ -114,7 +114,9 @@ impl<'a> Iterator for Attributes<'a> {
     type Item = SaxResult<Attribute<'a>>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let rest = self.rest.trim_start_matches(|c: char| c.is_ascii_whitespace());
+        let rest = self
+            .rest
+            .trim_start_matches(|c: char| c.is_ascii_whitespace());
         if rest.is_empty() {
             self.rest = rest;
             return None;

@@ -91,11 +91,7 @@ mod tests {
     #[test]
     fn push_api_delivers_all_event_kinds() {
         let mut trace = Trace::default();
-        parse_bytes(
-            br#"<a x="1"><!--c--><?t d?>hi<b/></a>"#,
-            &mut trace,
-        )
-        .unwrap();
+        parse_bytes(br#"<a x="1"><!--c--><?t d?>hi<b/></a>"#, &mut trace).unwrap();
         assert_eq!(
             trace.0,
             vec![

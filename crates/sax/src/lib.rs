@@ -49,6 +49,7 @@ mod event;
 mod handler;
 pub mod namespaces;
 mod reader;
+mod symbol;
 mod writer;
 
 pub use entity::{decode_entities, decode_entities_with, escape_attr, escape_text, EntityMap};
@@ -57,4 +58,5 @@ pub use event::{Attribute, EndTag, Event, NodeId, OwnedEvent, StartTag};
 pub use handler::{parse_bytes, parse_reader, SaxHandler};
 pub use namespaces::{NamespaceTracker, Resolved};
 pub use reader::SaxReader;
+pub use symbol::{Symbol, SymbolTable};
 pub use writer::XmlWriter;

@@ -316,7 +316,10 @@ impl<R: Read> SaxReader<R> {
         };
         let range = (self.pos, self.pos + end);
         self.pos += end;
-        Ok(Scanned::Text { range, cdata: false })
+        Ok(Scanned::Text {
+            range,
+            cdata: false,
+        })
     }
 
     fn scan_end_tag(&mut self) -> SaxResult<Scanned> {
@@ -533,8 +536,7 @@ impl<R: Read> SaxReader<R> {
 
     fn validate_name(&self, start: usize, end: usize, offset: u64) -> SaxResult<()> {
         let bytes = &self.buf[start..end];
-        if bytes.is_empty() || !is_name_start(bytes[0]) || !bytes.iter().all(|&b| is_name_char(b))
-        {
+        if bytes.is_empty() || !is_name_start(bytes[0]) || !bytes.iter().all(|&b| is_name_char(b)) {
             return Err(self.syntax_at(offset, "invalid name"));
         }
         Ok(())
@@ -603,10 +605,7 @@ impl<R: Read> SaxReader<R> {
         loop {
             let hay = &self.buf[self.pos..];
             if hay.len() >= from + needle.len() {
-                if let Some(i) = hay[from..]
-                    .windows(needle.len())
-                    .position(|w| w == needle)
-                {
+                if let Some(i) = hay[from..].windows(needle.len()).position(|w| w == needle) {
                     return Ok(Some(from + i));
                 }
                 from = hay.len() + 1 - needle.len();
@@ -722,9 +721,9 @@ mod tests {
         let starts: Vec<(String, u32, u64)> = evts
             .iter()
             .filter_map(|e| match e {
-                OwnedEvent::Start { name, level, id, .. } => {
-                    Some((name.clone(), *level, id.get()))
-                }
+                OwnedEvent::Start {
+                    name, level, id, ..
+                } => Some((name.clone(), *level, id.get())),
                 _ => None,
             })
             .collect();
@@ -912,11 +911,19 @@ mod tests {
     #[test]
     fn malformed_markup_is_a_syntax_error() {
         for bad in [
-            "<a", "<a><1bad/></a>", "<a bad></a>", "<a x=1></a>", "<a x=\"1></a>",
-            "<a><!-- unterminated </a>", "<>x</>",
+            "<a",
+            "<a><1bad/></a>",
+            "<a bad></a>",
+            "<a x=1></a>",
+            "<a x=\"1></a>",
+            "<a><!-- unterminated </a>",
+            "<>x</>",
         ] {
             assert!(
-                matches!(expect_err(bad), SaxError::Syntax { .. } | SaxError::UnexpectedEof { .. }),
+                matches!(
+                    expect_err(bad),
+                    SaxError::Syntax { .. } | SaxError::UnexpectedEof { .. }
+                ),
                 "expected error for {bad:?}"
             );
         }
@@ -972,7 +979,9 @@ mod tests {
     fn unicode_names_and_text_are_supported() {
         let evts = events("<日本語 属性=\"値\">テキスト</日本語>");
         match &evts[0] {
-            OwnedEvent::Start { name, attributes, .. } => {
+            OwnedEvent::Start {
+                name, attributes, ..
+            } => {
                 assert_eq!(name, "日本語");
                 assert_eq!(attributes[0], ("属性".into(), "値".into()));
             }
@@ -1080,10 +1089,7 @@ fn parse_entity_decls(doctype: &str, entities: &mut EntityMap) {
             None => return,
         };
         let mut name_end = name_start;
-        while chars
-            .peek()
-            .is_some_and(|(_, c)| !c.is_ascii_whitespace())
-        {
+        while chars.peek().is_some_and(|(_, c)| !c.is_ascii_whitespace()) {
             let (i, c) = chars.next().expect("peeked");
             name_end = i + c.len_utf8();
         }
@@ -1161,16 +1167,20 @@ mod entity_decl_tests {
         for i in 1..12 {
             subset.push_str(&format!(
                 "<!ENTITY l{i} \"&l{};&l{};&l{};&l{};&l{};&l{};&l{};&l{};\">",
-                i - 1, i - 1, i - 1, i - 1, i - 1, i - 1, i - 1, i - 1
+                i - 1,
+                i - 1,
+                i - 1,
+                i - 1,
+                i - 1,
+                i - 1,
+                i - 1,
+                i - 1
             ));
         }
         let xml = format!("<!DOCTYPE r [{subset}]><r>&l11;</r>");
         let mut reader = SaxReader::from_bytes(xml.as_bytes());
         reader.next_event().unwrap(); // <r>
-        assert!(matches!(
-            reader.next_event(),
-            Err(SaxError::Syntax { .. })
-        ));
+        assert!(matches!(reader.next_event(), Err(SaxError::Syntax { .. })));
     }
 
     #[test]

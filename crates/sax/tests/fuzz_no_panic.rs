@@ -2,6 +2,10 @@
 //! mutated valid documents, and truncations all either parse or produce
 //! a typed error.
 
+// Requires the optional proptest dev-dependency; see the workspace
+// Cargo.toml ("Offline, hermetic builds") for how to enable it.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use twigm_sax::SaxReader;
 

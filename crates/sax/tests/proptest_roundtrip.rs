@@ -1,6 +1,10 @@
 //! Property-based tests: any tree serialized by `XmlWriter` parses back to
 //! the same tree via `SaxReader`, with correct levels and pre-order ids.
 
+// Requires the optional proptest dev-dependency; see the workspace
+// Cargo.toml ("Offline, hermetic builds") for how to enable it.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use twigm_sax::{Event, SaxReader, XmlWriter};
 

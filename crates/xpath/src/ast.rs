@@ -466,16 +466,17 @@ mod tests {
     #[test]
     fn display_predicates_and_values() {
         let mut a = step(Axis::Descendant, "a");
-        a.predicates.push(PredExpr::Exists(Value::path(vec![step(
-            Axis::Child,
-            "d",
-        )])));
+        a.predicates
+            .push(PredExpr::Exists(Value::path(vec![step(Axis::Child, "d")])));
         a.predicates.push(PredExpr::Compare(
             Value::attr("year"),
             CmpOp::Ge,
             Literal::Number(2000.0),
         ));
-        let p = Path { steps: vec![a], attr: None };
+        let p = Path {
+            steps: vec![a],
+            attr: None,
+        };
         assert_eq!(p.to_string(), "//a[d][@year >= 2000]");
     }
 

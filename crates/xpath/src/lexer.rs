@@ -177,9 +177,7 @@ pub(crate) fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
             }
             b'0'..=b'9' | b'-' | b'.' => {
                 let mut end = i + 1;
-                while end < bytes.len()
-                    && (bytes[end].is_ascii_digit() || bytes[end] == b'.')
-                {
+                while end < bytes.len() && (bytes[end].is_ascii_digit() || bytes[end] == b'.') {
                     end += 1;
                 }
                 let text = &input[i..end];
@@ -251,7 +249,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!           | 'count(' rel-step ')' cmp integer
 //!           | strfn '(' value ',' string ')'
 //!           | value cmp literal | value
-//! strfn    := 'contains' | 'starts-with' | 'ends-with' 
+//! strfn    := 'contains' | 'starts-with' | 'ends-with'
 //! value    := '@' NCName
 //!           | 'text()'
 //!           | rel-path ('/' '@' NCName | '/' 'text()')?

@@ -143,9 +143,7 @@ impl Parser {
             // (and at most once): `a[2][b]` is the 2nd `a` that has `b`
             // in both readings, while `a[b][2]` would re-index.
             if matches!(expr, PredExpr::Position(_)) && !predicates.is_empty() {
-                return Err(self.error(
-                    "a positional predicate must be the step's first predicate",
-                ));
+                return Err(self.error("a positional predicate must be the step's first predicate"));
             }
             predicates.push(expr);
         }
@@ -187,9 +185,7 @@ impl Parser {
             }
             self.advance();
             if *self.peek() != TokenKind::RBracket {
-                return Err(self.error(
-                    "a positional predicate must stand alone (e.g. `[2]`)",
-                ));
+                return Err(self.error("a positional predicate must stand alone (e.g. `[2]`)"));
             }
             return Ok(PredExpr::Position(n as u32));
         }
@@ -270,9 +266,9 @@ impl Parser {
                             s
                         }
                         other => {
-                            return Err(self.error(format!(
-                                "expected a string literal, found {other}"
-                            )))
+                            return Err(
+                                self.error(format!("expected a string literal, found {other}"))
+                            )
                         }
                     };
                     if *self.peek() != TokenKind::RParen {
@@ -307,9 +303,9 @@ impl Parser {
                     Literal::Number(n)
                 }
                 other => {
-                    return Err(
-                        self.error(format!("expected a string or number literal, found {other}"))
-                    )
+                    return Err(self.error(format!(
+                        "expected a string or number literal, found {other}"
+                    )))
                 }
             };
             Ok(PredExpr::Compare(value, op, literal))
@@ -530,19 +526,19 @@ mod tests {
     fn rejects_malformed_queries() {
         for bad in [
             "",
-            "a",          // must start with / or //
-            "/",          // missing step
-            "//a[",       // unterminated predicate
-            "//a[]",      // empty predicate
-            "//a[@]",     // missing attribute name
-            "//a[b=]",    // missing literal
-            "//a[=5]",    // missing value
-            "//a[//b]",   // absolute path in predicate
-            "//a]",       // stray bracket
-            "//a[b](c)",  // junk after predicate
-            "//a[.]",     // bare `.`
-            "//a[(b]",    // unbalanced paren
-            "//a[b or]",  // missing operand
+            "a",         // must start with / or //
+            "/",         // missing step
+            "//a[",      // unterminated predicate
+            "//a[]",     // empty predicate
+            "//a[@]",    // missing attribute name
+            "//a[b=]",   // missing literal
+            "//a[=5]",   // missing value
+            "//a[//b]",  // absolute path in predicate
+            "//a]",      // stray bracket
+            "//a[b](c)", // junk after predicate
+            "//a[.]",    // bare `.`
+            "//a[(b]",   // unbalanced paren
+            "//a[b or]", // missing operand
         ] {
             assert!(parse(bad).is_err(), "expected error for {bad:?}");
         }
@@ -587,10 +583,7 @@ mod tests {
 
     #[test]
     fn whitespace_is_insignificant() {
-        assert_eq!(
-            parse("// a [ d ] / b").unwrap(),
-            parse("//a[d]/b").unwrap()
-        );
+        assert_eq!(parse("// a [ d ] / b").unwrap(), parse("//a[d]/b").unwrap());
     }
 }
 

@@ -27,11 +27,7 @@ pub fn simplify(path: &Path) -> Path {
 }
 
 fn simplify_step(step: &Step) -> Step {
-    let mut predicates: Vec<PredExpr> = step
-        .predicates
-        .iter()
-        .map(simplify_expr)
-        .collect();
+    let mut predicates: Vec<PredExpr> = step.predicates.iter().map(simplify_expr).collect();
     // Rule 1: drop duplicates (keep first occurrence).
     let mut seen: Vec<PredExpr> = Vec::new();
     predicates.retain(|p| {
@@ -66,9 +62,7 @@ fn simplify_expr(expr: &PredExpr) -> PredExpr {
     match expr {
         PredExpr::Exists(v) => PredExpr::Exists(simplify_value(v)),
         PredExpr::Compare(v, op, lit) => PredExpr::Compare(simplify_value(v), *op, lit.clone()),
-        PredExpr::StrFn(func, v, arg) => {
-            PredExpr::StrFn(*func, simplify_value(v), arg.clone())
-        }
+        PredExpr::StrFn(func, v, arg) => PredExpr::StrFn(*func, simplify_value(v), arg.clone()),
         PredExpr::Position(n) => PredExpr::Position(*n),
         PredExpr::CountCmp(v, op, n) => PredExpr::CountCmp(simplify_value(v), *op, *n),
         PredExpr::Not(inner) => {

@@ -1,6 +1,10 @@
 //! Property-based test: any AST printed by `Display` parses back to the
 //! identical AST.
 
+// Requires the optional proptest dev-dependency; see the workspace
+// Cargo.toml ("Offline, hermetic builds") for how to enable it.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use twigm_xpath::{parse, Axis, CmpOp, Literal, NameTest, Path, PredExpr, Step, StrFunc, Value};
 

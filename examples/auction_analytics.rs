@@ -13,8 +13,7 @@ use twigm_xpath::parse;
 fn main() {
     let (xml, report) = {
         let mut out = Vec::new();
-        let report =
-            twigm_datagen::auction::generate(42, 1024 * 1024, &mut out).expect("generate");
+        let report = twigm_datagen::auction::generate(42, 1024 * 1024, &mut out).expect("generate");
         (out, report)
     };
     println!(

@@ -24,7 +24,11 @@ fn main() {
             .expect("generate protein data");
     }
     let size = std::fs::metadata(&dir).expect("metadata").len();
-    println!("database: {} ({:.1} MB)", dir.display(), size as f64 / 1048576.0);
+    println!(
+        "database: {} ({:.1} MB)",
+        dir.display(),
+        size as f64 / 1048576.0
+    );
     println!();
 
     let queries = [

@@ -30,7 +30,9 @@ fn main() {
 
     let mut engine = MultiTwigM::new();
     for sub in &subscriptions {
-        engine.add_query(&parse(sub).expect("valid subscription")).unwrap();
+        engine
+            .add_query(&parse(sub).expect("valid subscription"))
+            .unwrap();
     }
     println!("{} standing subscriptions registered", engine.query_count());
 

@@ -83,8 +83,7 @@ fn main() {
         events += 1;
         match event {
             Event::Start(tag) => {
-                let attrs: Vec<Attribute<'_>> =
-                    tag.attributes().collect::<Result<_, _>>().unwrap();
+                let attrs: Vec<Attribute<'_>> = tag.attributes().collect::<Result<_, _>>().unwrap();
                 engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
             }
             Event::End(tag) => engine.end_element(tag.name(), tag.level()),

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local CI gate. Everything here must pass on a machine with no
+# network access — the workspace has no registry dependencies, and the
+# seeded test suite replaces the (feature-gated) proptest suites.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> offline guard: the workspace must build with no network"
+cargo build --offline --workspace
+
+echo "==> tier-1 verify: release build + tests"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test -q --workspace
+
+echo "CI green."

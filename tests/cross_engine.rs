@@ -27,7 +27,11 @@ fn check_dataset(dataset: Dataset, queries: &[&str]) {
         let twig = sorted(run_engine(TwigM::new(&query).unwrap(), &xml[..]).unwrap().0);
         assert_eq!(twig, expected, "TwigM vs oracle on {text} ({dataset:?})");
 
-        let auto = sorted(run_engine(Engine::new(&query).unwrap(), &xml[..]).unwrap().0);
+        let auto = sorted(
+            run_engine(Engine::new(&query).unwrap(), &xml[..])
+                .unwrap()
+                .0,
+        );
         assert_eq!(auto, expected, "Engine vs oracle on {text} ({dataset:?})");
 
         let naive = sorted(
@@ -35,12 +39,19 @@ fn check_dataset(dataset: Dataset, queries: &[&str]) {
                 .unwrap()
                 .0,
         );
-        assert_eq!(naive, expected, "NaiveEnum vs oracle on {text} ({dataset:?})");
+        assert_eq!(
+            naive, expected,
+            "NaiveEnum vs oracle on {text} ({dataset:?})"
+        );
 
         if query.is_predicate_free() {
             let path = sorted(run_engine(PathM::new(&query).unwrap(), &xml[..]).unwrap().0);
             assert_eq!(path, expected, "PathM vs oracle on {text} ({dataset:?})");
-            let dfa = sorted(run_engine(LazyDfa::new(&query).unwrap(), &xml[..]).unwrap().0);
+            let dfa = sorted(
+                run_engine(LazyDfa::new(&query).unwrap(), &xml[..])
+                    .unwrap()
+                    .0,
+            );
             assert_eq!(dfa, expected, "LazyDfa vs oracle on {text} ({dataset:?})");
         }
     }
@@ -113,8 +124,9 @@ fn recursive_stress_agrees() {
     let mut seed = 100;
     while count < 4_000 {
         let mut tree = Vec::new();
-        count += twigm_datagen::recursive::random_recursive(seed, 12, 3, &["x", "y", "z"], &mut tree)
-            .unwrap();
+        count +=
+            twigm_datagen::recursive::random_recursive(seed, 12, 3, &["x", "y", "z"], &mut tree)
+                .unwrap();
         xml.extend_from_slice(&tree);
         seed += 1;
     }
@@ -162,4 +174,187 @@ fn union_evaluation_matches_per_branch_oracle() {
     expected.dedup();
     let union: Vec<u64> = union.into_iter().map(NodeId::get).collect();
     assert_eq!(union, expected);
+}
+
+// ---------------------------------------------------------------------
+// Seeded differential sweep: documents derived from one SplitMix64
+// stream × the benchmark query corpus, every applicable engine, through
+// BOTH the string and the symbol entry points.
+// ---------------------------------------------------------------------
+
+use twigm::engine::StreamEngine;
+use twigm::stats::EngineStats;
+use twigm::BranchM;
+use twigm_datagen::SplitMix64;
+use twigm_sax::Attribute;
+
+/// Forwards only the string entry points and hides the inner engine's
+/// symbol table, so `run_engine` exercises the string-fallback driver
+/// path (the pre-interning behavior).
+struct StringOnly<E>(E);
+
+impl<E: StreamEngine> StreamEngine for StringOnly<E> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.0.start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        self.0.text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.0.end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        self.0.take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.0.stats()
+    }
+}
+
+/// One differential case: every engine whose language covers `text`
+/// must reproduce the oracle's id set through both entry paths.
+fn differential_case(oracle: &mut InMemEval<'_>, xml: &[u8], text: &str) {
+    let query = parse(text).unwrap();
+    let expected = sorted(oracle.evaluate(&query));
+
+    let sym = sorted(run_engine(TwigM::new(&query).unwrap(), xml).unwrap().0);
+    assert_eq!(sym, expected, "TwigM (symbol path) vs oracle on {text}");
+    let string = sorted(
+        run_engine(StringOnly(TwigM::new(&query).unwrap()), xml)
+            .unwrap()
+            .0,
+    );
+    assert_eq!(string, expected, "TwigM (string path) vs oracle on {text}");
+
+    let naive = sorted(run_engine(NaiveEnum::new(&query).unwrap(), xml).unwrap().0);
+    assert_eq!(
+        naive, expected,
+        "NaiveEnum (symbol path) vs oracle on {text}"
+    );
+    let naive_str = sorted(
+        run_engine(StringOnly(NaiveEnum::new(&query).unwrap()), xml)
+            .unwrap()
+            .0,
+    );
+    assert_eq!(
+        naive_str, expected,
+        "NaiveEnum (string path) vs oracle on {text}"
+    );
+
+    if query.is_predicate_free() {
+        let path = sorted(run_engine(PathM::new(&query).unwrap(), xml).unwrap().0);
+        assert_eq!(path, expected, "PathM (symbol path) vs oracle on {text}");
+        let path_str = sorted(
+            run_engine(StringOnly(PathM::new(&query).unwrap()), xml)
+                .unwrap()
+                .0,
+        );
+        assert_eq!(
+            path_str, expected,
+            "PathM (string path) vs oracle on {text}"
+        );
+    }
+    if query.is_branch_only() {
+        let branch = sorted(run_engine(BranchM::new(&query).unwrap(), xml).unwrap().0);
+        assert_eq!(
+            branch, expected,
+            "BranchM (symbol path) vs oracle on {text}"
+        );
+        let branch_str = sorted(
+            run_engine(StringOnly(BranchM::new(&query).unwrap()), xml)
+                .unwrap()
+                .0,
+        );
+        assert_eq!(
+            branch_str, expected,
+            "BranchM (string path) vs oracle on {text}"
+        );
+    }
+}
+
+/// The hermetic replacement for the proptest differential suite: one
+/// SplitMix64 stream derives every document (benchmark datasets at
+/// random seeds plus adversarial recursive trees), each paired with the
+/// full benchmark query corpus. Well over 100 (document, query) cases,
+/// deterministic across platforms.
+#[test]
+fn seeded_differential_sweep_covers_corpus_on_both_paths() {
+    let mut rng = SplitMix64::seed_from_u64(0x7716_4D21);
+    let mut cases = 0usize;
+
+    // Benchmark datasets at three random seeds each × their corpus.
+    type Corpus = fn() -> Vec<twigm_bench::QuerySpec>;
+    let corpora: [(Dataset, Corpus); 3] = [
+        (Dataset::Book, twigm_bench::book_queries),
+        (Dataset::Auction, twigm_bench::auction_queries),
+        (Dataset::Protein, twigm_bench::protein_queries),
+    ];
+    for (dataset, queries) in corpora {
+        for _ in 0..3 {
+            let seed = rng.next_u64();
+            let mut xml = Vec::new();
+            match dataset {
+                Dataset::Book => twigm_datagen::book::generate(seed, 80_000, &mut xml),
+                Dataset::Auction => twigm_datagen::auction::generate(seed, 80_000, &mut xml),
+                Dataset::Protein => twigm_datagen::protein::generate(seed, 80_000, &mut xml),
+            }
+            .unwrap();
+            let doc = Document::parse_bytes(&xml).unwrap();
+            let mut oracle = InMemEval::new(&doc);
+            for spec in queries() {
+                differential_case(&mut oracle, &xml, spec.text);
+                cases += 1;
+            }
+        }
+    }
+
+    // Adversarial recursive documents (heavy tag repetition along paths)
+    // × recursion-stressing queries.
+    let recursive_queries = [
+        "//x//y//z",
+        "//x[y]//z",
+        "//x[y][z]//y",
+        "//x//x//x",
+        "//x[y/z]//y",
+        "//*[x]//y",
+        "//x[.//z]//y",
+        "//z[x or y]",
+        "/root/x//y",
+        "//x/*/z",
+    ];
+    for _ in 0..4 {
+        let seed = rng.next_u64();
+        let depth = 6 + (rng.next_u64() % 6) as u32;
+        let fanout = 2 + (rng.next_u64() % 2) as usize;
+        let mut xml = Vec::from(&b"<root>"[..]);
+        for tree in 0..3 {
+            twigm_datagen::recursive::random_recursive(
+                seed.wrapping_add(tree),
+                depth,
+                fanout,
+                &["x", "y", "z"],
+                &mut xml,
+            )
+            .unwrap();
+        }
+        xml.extend_from_slice(b"</root>");
+        let doc = Document::parse_bytes(&xml).unwrap();
+        let mut oracle = InMemEval::new(&doc);
+        for text in recursive_queries {
+            differential_case(&mut oracle, &xml, text);
+            cases += 1;
+        }
+    }
+
+    assert!(cases >= 100, "only {cases} differential cases ran");
 }

@@ -11,6 +11,10 @@
 //! numeric text) so that tags recurse, predicates flip between satisfied
 //! and not, and value tests hit all comparison outcomes.
 
+// Requires the optional proptest dev-dependency; see the workspace
+// Cargo.toml ("Offline, hermetic builds") for how to enable it.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use twigm::engine::run_engine;
 use twigm::{BranchM, PathM, StreamEngine, TwigM};
@@ -64,18 +68,14 @@ fn elem_strategy() -> impl Strategy<Value = Elem> {
             attrs
         });
         let text = proptest::option::of((0u8..4).prop_map(|v| v.to_string()));
-        (
-            tag,
-            attrs,
-            text,
-            proptest::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(tag, attrs, text, children)| Elem {
+        (tag, attrs, text, proptest::collection::vec(inner, 0..4)).prop_map(
+            |(tag, attrs, text, children)| Elem {
                 tag,
                 attrs,
                 text,
                 children,
-            })
+            },
+        )
     })
 }
 

@@ -36,14 +36,14 @@ fn intro_variant_with_child_axis_is_empty() {
     for n in [2usize, 3, 10] {
         let xml = figure1_string(n);
         let query = parse("//a[d]/b[e]//c").unwrap();
-        assert!(
-            ids(TwigM::new(&query).unwrap(), &xml).is_empty(),
-            "n = {n}"
-        );
+        assert!(ids(TwigM::new(&query).unwrap(), &xml).is_empty(), "n = {n}");
     }
     // For n = 1, a1 = a_n and the match exists.
     let query = parse("//a[d]/b[e]//c").unwrap();
-    assert_eq!(ids(TwigM::new(&query).unwrap(), &figure1_string(1)), vec![2]);
+    assert_eq!(
+        ids(TwigM::new(&query).unwrap(), &figure1_string(1)),
+        vec![2]
+    );
 }
 
 /// §1 contribution 1 and §3.3: TwigM stores 2n+1 stack entries encoding
@@ -137,13 +137,22 @@ fn machines_agree_on_their_shared_fragments() {
         );
     }
     // And Engine routes correctly.
-    assert_eq!(Engine::new(&parse("//b/c").unwrap()).unwrap().machine_name(), "PathM");
     assert_eq!(
-        Engine::new(&parse("/a[d]/b/c").unwrap()).unwrap().machine_name(),
+        Engine::new(&parse("//b/c").unwrap())
+            .unwrap()
+            .machine_name(),
+        "PathM"
+    );
+    assert_eq!(
+        Engine::new(&parse("/a[d]/b/c").unwrap())
+            .unwrap()
+            .machine_name(),
         "BranchM"
     );
     assert_eq!(
-        Engine::new(&parse("//a[d]//c").unwrap()).unwrap().machine_name(),
+        Engine::new(&parse("//a[d]//c").unwrap())
+            .unwrap()
+            .machine_name(),
         "TwigM"
     );
 }
@@ -165,4 +174,147 @@ fn peak_entries_constant_as_data_grows() {
         engine.stats().peak_entries
     };
     assert_eq!(peak_of(1), peak_of(8));
+}
+
+// ---------------------------------------------------------------------
+// Golden pins for figures 2–4: exact NodeId sets, every engine whose
+// language covers the query, through BOTH entry paths (the string
+// fallback and the symbol-dispatch hot path).
+// ---------------------------------------------------------------------
+
+use twigm::stats::EngineStats;
+use twigm::MultiTwigM;
+use twigm_baselines::{LazyDfa, NaiveEnum};
+use twigm_sax::Attribute;
+
+/// Forwards only the string entry points and hides the inner engine's
+/// symbol table, forcing `run_engine` onto the string-fallback path.
+struct StringOnly<E>(E);
+
+impl<E: StreamEngine> StreamEngine for StringOnly<E> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.0.start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        self.0.text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.0.end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        self.0.take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.0.stats()
+    }
+}
+
+/// Asserts `query` over `xml` yields exactly `expected` (sorted ids)
+/// from every applicable engine on both entry paths.
+fn golden(query_text: &str, xml: &str, expected: &[u64]) {
+    let query = parse(query_text).unwrap();
+
+    assert_eq!(
+        ids(TwigM::new(&query).unwrap(), xml),
+        expected,
+        "TwigM sym: {query_text}"
+    );
+    assert_eq!(
+        ids(StringOnly(TwigM::new(&query).unwrap()), xml),
+        expected,
+        "TwigM str: {query_text}"
+    );
+    assert_eq!(
+        ids(Engine::new(&query).unwrap(), xml),
+        expected,
+        "Engine: {query_text}"
+    );
+    assert_eq!(
+        ids(NaiveEnum::new(&query).unwrap(), xml),
+        expected,
+        "NaiveEnum sym: {query_text}"
+    );
+    assert_eq!(
+        ids(StringOnly(NaiveEnum::new(&query).unwrap()), xml),
+        expected,
+        "NaiveEnum str: {query_text}"
+    );
+    if query.is_predicate_free() {
+        assert_eq!(
+            ids(PathM::new(&query).unwrap(), xml),
+            expected,
+            "PathM sym: {query_text}"
+        );
+        assert_eq!(
+            ids(StringOnly(PathM::new(&query).unwrap()), xml),
+            expected,
+            "PathM str: {query_text}"
+        );
+        assert_eq!(
+            ids(LazyDfa::new(&query).unwrap(), xml),
+            expected,
+            "LazyDfa: {query_text}"
+        );
+    }
+    if query.is_branch_only() {
+        assert_eq!(
+            ids(BranchM::new(&query).unwrap(), xml),
+            expected,
+            "BranchM sym: {query_text}"
+        );
+        assert_eq!(
+            ids(StringOnly(BranchM::new(&query).unwrap()), xml),
+            expected,
+            "BranchM str: {query_text}"
+        );
+    }
+    // The shared multi-query engine (always on the symbol path).
+    let mut multi = MultiTwigM::new();
+    let qid = multi.add_query(&query).unwrap();
+    let mut got: Vec<u64> = multi
+        .run(xml.as_bytes())
+        .unwrap()
+        .into_iter()
+        .filter(|r| r.query == qid)
+        .map(|r| r.node.get())
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expected, "MultiTwigM: {query_text}");
+}
+
+/// Figure 2: M2 = //a//b//c over the nested a,a,b,b,c document — c1
+/// (pre-order id 2n) is the unique answer.
+#[test]
+fn figure2_golden_all_engines() {
+    golden("//a//b//c", &figure1_string(4), &[8]);
+    // Shallowest instance, where a1 = a_n.
+    golden("//a//b//c", &figure1_string(1), &[2]);
+}
+
+/// Figure 3: Q3 = /a[d]/b[e]/c over a1(b1(c1, e1), d1) — {c1} at id 2,
+/// and ∅ once d is removed.
+#[test]
+fn figure3_golden_all_engines() {
+    golden("/a[d]/b[e]/c", "<a><b><c/><e/></b><d/></a>", &[2]);
+    golden("/a[d]/b[e]/c", "<a><b><c/><e/></b></a>", &[]);
+    golden("/a[d]/b[e]/c", "<a><b><c/></b><d/></a>", &[]);
+}
+
+/// Figure 4: Q1 = //a[d]//b[e]//c over figure 1(a) — the five-node
+/// machine delivers exactly c1 despite n² pattern matches.
+#[test]
+fn figure4_golden_all_engines() {
+    golden("//a[d]//b[e]//c", &figure1_string(4), &[8]);
+    // Drop the e predicate's witness: no answer.
+    golden("//a[d]//b[e]//c", "<a><b><c/></b><d/></a>", &[]);
 }

@@ -11,6 +11,10 @@
 //! prefix subquery, computed by direct recursion over the machine's
 //! edges.
 
+// Requires the optional proptest dev-dependency; see the workspace
+// Cargo.toml ("Offline, hermetic builds") for how to enable it.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use twigm::machine::Machine;
 use twigm::{StreamEngine, TwigM};
@@ -37,8 +41,7 @@ fn solves_prefix(machine: &Machine, v: usize, actives: &[ActiveElem], idx: usize
     match node.parent {
         None => node.edge.test(elem.level as i64),
         Some(p) => (0..idx).any(|a| {
-            node.edge
-                .test(elem.level as i64 - actives[a].level as i64)
+            node.edge.test(elem.level as i64 - actives[a].level as i64)
                 && solves_prefix(machine, p, actives, a)
         }),
     }
@@ -107,13 +110,8 @@ fn doc_strategy() -> impl Strategy<Value = String> {
         if depth == 0 {
             tag.prop_map(|t| format!("<{t}/>")).boxed()
         } else {
-            (
-                tag,
-                proptest::collection::vec(node(depth - 1), 0..4),
-            )
-                .prop_map(|(t, children)| {
-                    format!("<{t}>{}</{t}>", children.concat())
-                })
+            (tag, proptest::collection::vec(node(depth - 1), 0..4))
+                .prop_map(|(t, children)| format!("<{t}>{}</{t}>", children.concat()))
                 .boxed()
         }
     }
@@ -153,11 +151,14 @@ fn figure2_snapshot_matches_the_paper() {
     // c1 is open, v1 holds [1,2], v2 holds [3,4], v3 holds [5].
     let query = parse("//a//b//c").unwrap();
     let mut engine = TwigM::new(&query).unwrap();
-    for (tag, level, id) in [("a", 1, 0), ("a", 2, 1), ("b", 3, 2), ("b", 4, 3), ("c", 5, 4)] {
+    for (tag, level, id) in [
+        ("a", 1, 0),
+        ("a", 2, 1),
+        ("b", 3, 2),
+        ("b", 4, 3),
+        ("c", 5, 4),
+    ] {
         engine.start_element(tag, &[], level, NodeId::new(id));
     }
-    assert_eq!(
-        engine.stack_levels(),
-        vec![vec![1, 2], vec![3, 4], vec![5]]
-    );
+    assert_eq!(engine.stack_levels(), vec![vec![1, 2], vec![3, 4], vec![5]]);
 }
