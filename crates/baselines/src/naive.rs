@@ -78,6 +78,15 @@ impl NaiveEnum {
         self.stacks.iter().map(Vec::len).sum()
     }
 
+    /// Machine node count |Q|. Exposed as a plain accessor — NOT via
+    /// `StreamEngine::machine_size` — because enumeration keeps one
+    /// entry per (element, parent-match) pair, so its `peak_entries`
+    /// provably exceeds Theorem 4.4's `|Q| · R` bound on recursive data;
+    /// claiming the bound through the trait hook would be wrong.
+    pub fn machine_len(&self) -> usize {
+        self.machine.len()
+    }
+
     /// δs on an interned symbol. Dispatch visits the symbol's tag list,
     /// then the wildcard list; edges have distance ≥ 1, so same-level
     /// entries never interact within one event and the visit order

@@ -90,6 +90,10 @@ impl<E: StreamEngine> StreamEngine for AttrCollector<E> {
     fn stats(&self) -> &EngineStats {
         self.inner.stats()
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        self.inner.machine_size()
+    }
 }
 
 /// One-call convenience: evaluates a `/@attr` query and returns the

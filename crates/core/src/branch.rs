@@ -256,6 +256,10 @@ impl StreamEngine for BranchM {
     fn stats(&self) -> &EngineStats {
         &self.stats
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        Some(self.machine.len())
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,16 @@ pub trait StreamEngine {
 
     /// Work / memory counters.
     fn stats(&self) -> &EngineStats;
+
+    /// The compiled machine's node count |Q|, when the engine has one.
+    /// Together with the document recursion depth R this lets harnesses
+    /// assert Theorem 4.4's `peak_entries <= |Q| * R` bound uniformly,
+    /// without knowing each engine's concrete machine accessor. `None`
+    /// (the default) means "no bound claimed" — e.g. enumeration
+    /// baselines whose buffering is not covered by the theorem.
+    fn machine_size(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl<E: StreamEngine + ?Sized> StreamEngine for &mut E {
@@ -129,6 +139,10 @@ impl<E: StreamEngine + ?Sized> StreamEngine for &mut E {
     fn stats(&self) -> &EngineStats {
         (**self).stats()
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        (**self).machine_size()
+    }
 }
 
 impl<E: StreamEngine + ?Sized> StreamEngine for Box<E> {
@@ -179,6 +193,10 @@ impl<E: StreamEngine + ?Sized> StreamEngine for Box<E> {
 
     fn stats(&self) -> &EngineStats {
         (**self).stats()
+    }
+
+    fn machine_size(&self) -> Option<usize> {
+        (**self).machine_size()
     }
 }
 
@@ -338,6 +356,14 @@ impl StreamEngine for Engine {
             Engine::Path(e) => e.stats(),
             Engine::Branch(e) => e.stats(),
             Engine::Twig(e) => e.stats(),
+        }
+    }
+
+    fn machine_size(&self) -> Option<usize> {
+        match self {
+            Engine::Path(e) => e.machine_size(),
+            Engine::Branch(e) => e.machine_size(),
+            Engine::Twig(e) => e.machine_size(),
         }
     }
 }

@@ -162,6 +162,10 @@ impl<E: StreamEngine> StreamEngine for FragmentCollector<E> {
     fn stats(&self) -> &EngineStats {
         self.inner.stats()
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        self.inner.machine_size()
+    }
 }
 
 #[cfg(test)]

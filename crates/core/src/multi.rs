@@ -173,6 +173,13 @@ impl MultiTwigM {
         self.queries.len()
     }
 
+    /// Total machine-node count summed over every registered query — the
+    /// |Q| of Theorem 4.4 for the multi-query machine: its aggregated
+    /// `peak_entries` is bounded by this total times the recursion depth.
+    pub fn machine_size(&self) -> usize {
+        self.queries.iter().map(|q| q.machine.len()).sum()
+    }
+
     /// The symbol space shared by every registered machine. Callers
     /// driving the engine event by event can look a tag up once and use
     /// the `_sym` entry points.

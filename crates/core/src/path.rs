@@ -172,6 +172,10 @@ impl StreamEngine for PathM {
     fn stats(&self) -> &EngineStats {
         &self.stats
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        Some(self.machine.len())
+    }
 }
 
 #[cfg(test)]

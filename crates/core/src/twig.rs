@@ -556,6 +556,10 @@ impl StreamEngine for TwigM {
     fn stats(&self) -> &EngineStats {
         &self.stats
     }
+
+    fn machine_size(&self) -> Option<usize> {
+        Some(self.machine.len())
+    }
 }
 
 #[cfg(test)]

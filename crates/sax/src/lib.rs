@@ -57,6 +57,6 @@ pub use error::{SaxError, SaxResult};
 pub use event::{Attribute, EndTag, Event, NodeId, OwnedEvent, StartTag};
 pub use handler::{parse_bytes, parse_reader, SaxHandler};
 pub use namespaces::{NamespaceTracker, Resolved};
-pub use reader::SaxReader;
+pub use reader::{FeedEvent, FeedReader, SaxReader};
 pub use symbol::{Symbol, SymbolTable};
 pub use writer::XmlWriter;

@@ -562,7 +562,17 @@ impl<R: Read> SaxReader<R> {
         }
         let old = self.buf.len();
         self.buf.resize(old + CHUNK, 0);
-        let n = self.src.read(&mut self.buf[old..])?;
+        let n = match self.src.read(&mut self.buf[old..]) {
+            Ok(n) => n,
+            Err(e) => {
+                // Drop the zero padding before surfacing the error:
+                // a resumable source (FeedReader's `WouldBlock`) retries
+                // the same parse, which must not see the padding as
+                // document bytes.
+                self.buf.truncate(old);
+                return Err(e.into());
+            }
+        };
         self.buf.truncate(old + n);
         if n == 0 {
             self.eof = true;
@@ -639,6 +649,154 @@ impl<R: Read> SaxReader<R> {
             offset,
             message: message.to_string(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental (push) parsing: feed()/finish().
+// ---------------------------------------------------------------------
+
+/// Byte source backing [`FeedReader`]: a growable queue that reports
+/// [`std::io::ErrorKind::WouldBlock`] when drained before
+/// [`FeedReader::finish`] was called, and a clean end-of-stream after.
+#[derive(Debug, Default)]
+struct FeedSource {
+    data: std::collections::VecDeque<u8>,
+    finished: bool,
+}
+
+impl Read for FeedSource {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.data.is_empty() {
+            return if self.finished {
+                Ok(0)
+            } else {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            };
+        }
+        let (front, _) = self.data.as_slices();
+        let n = front.len().min(out.len());
+        out[..n].copy_from_slice(&front[..n]);
+        self.data.drain(..n);
+        Ok(n)
+    }
+}
+
+/// The outcome of one [`FeedReader::next_event`] call.
+#[derive(Debug)]
+pub enum FeedEvent<'a> {
+    /// A complete event was parsed.
+    Event(Event<'a>),
+    /// The buffered input ends in the middle of a construct (tag, entity
+    /// reference, CDATA section, ...). Call [`FeedReader::feed`] — or
+    /// [`FeedReader::finish`] if the stream is over — and retry.
+    NeedData,
+    /// The document is complete and well formed (only reachable after
+    /// [`FeedReader::finish`]).
+    Done,
+}
+
+/// A push-style incremental wrapper around [`SaxReader`].
+///
+/// Callers [`feed`](FeedReader::feed) arbitrary byte chunks — split
+/// anywhere, including mid-tag, mid-entity or mid-CDATA — then drain
+/// events with [`next_event`](FeedReader::next_event) until it reports
+/// [`FeedEvent::NeedData`]. After the final chunk,
+/// [`finish`](FeedReader::finish) lets the parser distinguish a truncated
+/// document (an error) from one that is merely still arriving.
+///
+/// Events, levels, ids, errors and resource limits are byte-for-byte
+/// identical to pulling the concatenated input through [`SaxReader`]; the
+/// testkit's chunk-resplit driver asserts exactly that.
+///
+/// ```
+/// use twigm_sax::{FeedEvent, FeedReader};
+///
+/// let mut parser = FeedReader::new();
+/// let mut tags = Vec::new();
+/// for chunk in [&b"<a><b/>x &a"[..], &b"mp; y</a>"[..]] {
+///     parser.feed(chunk);
+///     while let FeedEvent::Event(e) = parser.next_event().unwrap() {
+///         if let twigm_sax::Event::Start(t) = e {
+///             tags.push(t.name().to_string());
+///         }
+///     }
+/// }
+/// parser.finish();
+/// while let FeedEvent::Event(_) = parser.next_event().unwrap() {}
+/// assert_eq!(tags, ["a", "b"]);
+/// ```
+pub struct FeedReader {
+    inner: SaxReader<FeedSource>,
+}
+
+impl FeedReader {
+    /// Creates an empty incremental parser.
+    pub fn new() -> FeedReader {
+        FeedReader {
+            inner: SaxReader::new(FeedSource::default()),
+        }
+    }
+
+    /// Overrides the maximum size of a single piece of markup.
+    pub fn with_max_markup(mut self, limit: usize) -> Self {
+        self.inner.max_markup = limit;
+        self
+    }
+
+    /// Appends a chunk of the document. Chunks may be split at any byte
+    /// boundary.
+    ///
+    /// # Panics
+    /// Panics if called after [`FeedReader::finish`].
+    pub fn feed(&mut self, bytes: &[u8]) {
+        assert!(
+            !self.inner.src.finished,
+            "FeedReader::feed called after finish()"
+        );
+        self.inner.src.data.extend(bytes);
+    }
+
+    /// Declares the end of input: pending [`FeedEvent::NeedData`] states
+    /// become either events, [`FeedEvent::Done`], or truncation errors.
+    pub fn finish(&mut self) {
+        self.inner.src.finished = true;
+    }
+
+    /// Has [`FeedReader::finish`] been called?
+    pub fn is_finished(&self) -> bool {
+        self.inner.src.finished
+    }
+
+    /// Absolute byte offset of the next unconsumed input byte.
+    pub fn offset(&self) -> u64 {
+        self.inner.offset()
+    }
+
+    /// Current element nesting depth (number of open elements).
+    pub fn depth(&self) -> u32 {
+        self.inner.depth()
+    }
+
+    /// Parses the next event out of the buffered input.
+    ///
+    /// Errors are terminal and identical to the ones [`SaxReader`] would
+    /// report on the concatenated input.
+    pub fn next_event(&mut self) -> SaxResult<FeedEvent<'_>> {
+        match self.inner.next_event() {
+            Ok(Some(event)) => Ok(FeedEvent::Event(event)),
+            Ok(None) => Ok(FeedEvent::Done),
+            Err(SaxError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Ok(FeedEvent::NeedData)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Default for FeedReader {
+    fn default() -> Self {
+        FeedReader::new()
     }
 }
 
@@ -1225,5 +1383,145 @@ mod entity_comment_tests {
         );
         assert_eq!(entities.get("live").map(String::as_str), Some("y"));
         assert!(!entities.contains_key("dead"));
+    }
+}
+
+#[cfg(test)]
+mod feed_tests {
+    use super::*;
+    use crate::event::OwnedEvent;
+
+    /// Drains every currently parseable event into `out`; returns true
+    /// once `Done` is reached.
+    fn drain(parser: &mut FeedReader, out: &mut Vec<OwnedEvent>) -> bool {
+        loop {
+            match parser.next_event().unwrap() {
+                FeedEvent::Event(e) => out.push(e.to_owned_event()),
+                FeedEvent::NeedData => return false,
+                FeedEvent::Done => return true,
+            }
+        }
+    }
+
+    /// Feeds `xml` in chunks of `chunk` bytes and returns the events.
+    fn chunked_events(xml: &[u8], chunk: usize) -> Vec<OwnedEvent> {
+        let mut parser = FeedReader::new();
+        let mut out = Vec::new();
+        for piece in xml.chunks(chunk.max(1)) {
+            parser.feed(piece);
+            assert!(!drain(&mut parser, &mut out));
+        }
+        parser.finish();
+        assert!(drain(&mut parser, &mut out));
+        out
+    }
+
+    /// Pulls the same bytes through the plain reader, for comparison.
+    fn whole_events(xml: &[u8]) -> Vec<OwnedEvent> {
+        let mut reader = SaxReader::from_bytes(xml);
+        let mut out = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            out.push(e.to_owned_event());
+        }
+        out
+    }
+
+    #[test]
+    fn one_byte_feeding_matches_whole_buffer_parse() {
+        let xml = br#"<?xml version="1.0"?><!-- pre --><r a="1&amp;2">
+            t1<b/><![CDATA[raw ]] text]]><?pi data?>&lt;tail&#33;
+            <c x='&quot;q'>deep<d>er</d></c></r>"#;
+        let whole = whole_events(xml);
+        for chunk in [1usize, 2, 3, 7, 64] {
+            assert_eq!(chunked_events(xml, chunk), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn mid_entity_split_is_seamless() {
+        let mut parser = FeedReader::new();
+        let mut out = Vec::new();
+        parser.feed(b"<a>x&am");
+        assert!(!drain(&mut parser, &mut out));
+        parser.feed(b"p;y</a>");
+        parser.finish();
+        assert!(drain(&mut parser, &mut out));
+        let text: String = out
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(text, "x&y");
+    }
+
+    #[test]
+    fn mid_cdata_split_is_seamless() {
+        let mut parser = FeedReader::new();
+        let mut out = Vec::new();
+        parser.feed(b"<a><![CDATA[one]]");
+        assert!(!drain(&mut parser, &mut out));
+        parser.feed(b"two]]></a>");
+        parser.finish();
+        assert!(drain(&mut parser, &mut out));
+        let text: String = out
+            .iter()
+            .filter_map(|e| match e {
+                OwnedEvent::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(text, "one]]two");
+    }
+
+    #[test]
+    fn need_data_then_truncation_error_after_finish() {
+        let mut parser = FeedReader::new();
+        parser.feed(b"<a><b att=");
+        let mut out = Vec::new();
+        // The open start tag is incomplete: parser must wait, not error.
+        assert!(!drain(&mut parser, &mut out));
+        assert!(matches!(parser.next_event().unwrap(), FeedEvent::NeedData));
+        // Declaring EOF turns the pending state into a truncation error.
+        parser.finish();
+        let err = loop {
+            match parser.next_event() {
+                Ok(FeedEvent::Event(_)) => continue,
+                Ok(other) => panic!("expected an error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(
+                err,
+                SaxError::UnexpectedEof { .. } | SaxError::Syntax { .. }
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn well_formedness_errors_propagate() {
+        let mut parser = FeedReader::new();
+        parser.feed(b"<a><b></a>");
+        parser.finish();
+        let err = loop {
+            match parser.next_event() {
+                Ok(FeedEvent::Event(_)) => continue,
+                Ok(other) => panic!("expected an error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SaxError::MismatchedTag { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn feed_after_finish_panics() {
+        let mut parser = FeedReader::new();
+        parser.finish();
+        assert!(parser.is_finished());
+        let panicked = std::panic::catch_unwind(move || parser.feed(b"<a/>")).is_err();
+        assert!(panicked);
     }
 }

@@ -1,0 +1,164 @@
+//! Hermetic edge-case tests for lexical corners of the SAX scanner:
+//! empty CDATA sections, `]]`/`]]>`-adjacent content, numeric character
+//! references straddling buffer boundaries, and unterminated constructs
+//! that must surface as typed errors, never panics.
+
+use twigm_sax::{Event, FeedEvent, FeedReader, SaxError, SaxReader};
+
+/// Parses the whole document, concatenating every `Text` event.
+fn text_of(xml: &str) -> Result<String, SaxError> {
+    let mut reader = SaxReader::from_bytes(xml.as_bytes());
+    let mut out = String::new();
+    loop {
+        match reader.next_event()? {
+            Some(Event::Text(t)) => out.push_str(&t),
+            Some(_) => {}
+            None => return Ok(out),
+        }
+    }
+}
+
+/// Drains a document to its terminal state: `Ok(())` or the error.
+fn drain(xml: &[u8]) -> Result<(), SaxError> {
+    let mut reader = SaxReader::from_bytes(xml);
+    loop {
+        match reader.next_event()? {
+            Some(_) => {}
+            None => return Ok(()),
+        }
+    }
+}
+
+#[test]
+fn empty_cdata_section_is_no_text() {
+    assert_eq!(text_of("<a><![CDATA[]]></a>").unwrap(), "");
+    assert_eq!(text_of("<a>x<![CDATA[]]>y</a>").unwrap(), "xy");
+}
+
+#[test]
+fn cdata_bracket_adjacency() {
+    // A `]` hard against the CDATA terminator.
+    assert_eq!(text_of("<a><![CDATA[x]]]></a>").unwrap(), "x]");
+    // Two of them.
+    assert_eq!(text_of("<a><![CDATA[x]]]]></a>").unwrap(), "x]]");
+    // A CDATA section that is nothing but brackets.
+    assert_eq!(
+        text_of("<a><![CDATA[]]]]><![CDATA[]]]></a>").unwrap(),
+        "]]]"
+    );
+    // `]]>` expressed by splitting it across two sections — the
+    // standard way to embed the terminator itself.
+    assert_eq!(
+        text_of("<a><![CDATA[]]]]><![CDATA[>]]></a>").unwrap(),
+        "]]>"
+    );
+    // Brackets in plain character data, nowhere near CDATA.
+    assert_eq!(text_of("<a>x]] y</a>").unwrap(), "x]] y");
+}
+
+#[test]
+fn numeric_char_refs_decode() {
+    assert_eq!(text_of("<a>&#38;&#60;&#x3C;&#X43;</a>").unwrap(), "&<<C");
+    assert_eq!(text_of("<a>&#x1F600;</a>").unwrap(), "\u{1F600}");
+}
+
+#[test]
+fn numeric_char_refs_across_buffer_edges() {
+    // Push the document one byte at a time through the incremental
+    // reader: every reference is split at every interior position.
+    let xml = b"<a>&#38;x&#x3C;y&amp;&#X21;</a>";
+    let mut parser = FeedReader::new();
+    let mut out = String::new();
+    for (i, byte) in xml.iter().enumerate() {
+        parser.feed(std::slice::from_ref(byte));
+        if i + 1 == xml.len() {
+            parser.finish();
+        }
+        loop {
+            match parser.next_event().unwrap() {
+                FeedEvent::Event(Event::Text(t)) => out.push_str(&t),
+                FeedEvent::Event(_) => {}
+                FeedEvent::NeedData | FeedEvent::Done => break,
+            }
+        }
+    }
+    assert_eq!(out, "&x<y&!");
+}
+
+#[test]
+fn unterminated_constructs_error_not_panic() {
+    // Each prefix must produce a typed error (any variant), not a panic
+    // and not a silent success.
+    for doc in [
+        &b"<a"[..],
+        b"<a ",
+        b"<a x=\"v",
+        b"<a x='v",
+        b"<a>",
+        b"<a><b></b>",
+        b"<a><!--",
+        b"<a><!-- never closed --",
+        b"<a><![CDATA[",
+        b"<a><![CDATA[x]]",
+        b"<a><?pi",
+        b"<a>&am",
+        b"<a>&#x3C",
+        b"<a></a",
+        b"<!--",
+        b"<?xml",
+    ] {
+        assert!(
+            drain(doc).is_err(),
+            "truncated `{}` did not error",
+            String::from_utf8_lossy(doc)
+        );
+    }
+}
+
+#[test]
+fn unterminated_element_reports_the_open_element() {
+    match drain(b"<a><b>") {
+        Err(SaxError::UnexpectedEof { open_element }) => {
+            assert_eq!(open_element.as_deref(), Some("b"));
+        }
+        other => panic!("expected UnexpectedEof, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_numeric_refs_are_syntax_errors() {
+    for doc in ["<a>&#xD800;</a>", "<a>&#xyz;</a>", "<a>&#;</a>"] {
+        match drain(doc.as_bytes()) {
+            Err(SaxError::Syntax { .. }) => {}
+            other => panic!("`{doc}` expected Syntax error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn structural_errors_have_precise_variants() {
+    assert!(matches!(
+        drain(b"<a></b>"),
+        Err(SaxError::MismatchedTag { expected, found, .. }) if expected == "a" && found == "b"
+    ));
+    assert!(matches!(
+        drain(b"</a>"),
+        Err(SaxError::UnexpectedEndTag { found, .. }) if found == "a"
+    ));
+    assert!(matches!(
+        drain(b"<a/>text"),
+        Err(SaxError::TextOutsideRoot { .. })
+    ));
+    assert!(matches!(
+        drain(b"<a/><b/>"),
+        Err(SaxError::MultipleRoots { name, .. }) if name == "b"
+    ));
+    assert!(matches!(
+        drain(b"<a x=\"1\" x=\"2\"/>"),
+        Err(SaxError::DuplicateAttribute { name, .. }) if name == "x"
+    ));
+    assert!(matches!(
+        drain(b"<a>&nbsp;</a>"),
+        Err(SaxError::UnknownEntity { name, .. }) if name == "nbsp"
+    ));
+}

@@ -1,0 +1,120 @@
+//! The failure-corpus `.case` file format and its replay.
+//!
+//! A case file is a minimal, self-contained reproduction of a past
+//! failure: one query plus one single-line XML document. Replay reruns
+//! the *entire* check battery (differential, Theorem 4.4, chunk-resplit,
+//! metamorphic) — the battery is deterministic and needs no seed, so a
+//! case that once exposed a bug keeps guarding against its return.
+//!
+//! ```text
+//! # free-form commentary (the writer records the original violation)
+//! kind: resplit
+//! query: //a[b]//c
+//! xml: <r><a><b/><c/></a></r>
+//! ```
+
+use twigm_xpath::{parse, Path};
+
+/// A parsed `.case` file.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The violation kind recorded when the case was captured
+    /// (informative only — replay reruns every check).
+    pub kind: String,
+    /// The query text.
+    pub query: String,
+    /// The document bytes.
+    pub xml: Vec<u8>,
+}
+
+/// Formats a case file. `comment` lines are emitted with a leading `#`.
+///
+/// # Panics
+/// Panics if `xml` contains a newline (generated and shrunk documents
+/// never do).
+pub fn format_case(kind: &str, comment: &str, query: &str, xml: &[u8]) -> String {
+    assert!(
+        !xml.contains(&b'\n') && !xml.contains(&b'\r'),
+        "corpus XML must be single-line"
+    );
+    let mut out = String::new();
+    for line in comment.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("kind: ");
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str("query: ");
+    out.push_str(query);
+    out.push('\n');
+    out.push_str("xml: ");
+    out.push_str(&String::from_utf8_lossy(xml));
+    out.push('\n');
+    out
+}
+
+/// Parses a `.case` file.
+pub fn parse_case(text: &str) -> Result<Case, String> {
+    let mut kind = None;
+    let mut query = None;
+    let mut xml = None;
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("kind: ") {
+            kind = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("query: ") {
+            query = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("xml: ") {
+            xml = Some(rest.as_bytes().to_vec());
+        } else {
+            return Err(format!("unrecognized case line: {line}"));
+        }
+    }
+    Ok(Case {
+        kind: kind.ok_or("missing `kind:` line")?,
+        query: query.ok_or("missing `query:` line")?,
+        xml: xml.ok_or("missing `xml:` line")?,
+    })
+}
+
+/// Parses the query of a case, reporting a readable error.
+pub fn case_query(case: &Case) -> Result<Path, String> {
+    parse(&case.query).map_err(|e| format!("case query `{}` unparseable: {e}", case.query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_and_parse_roundtrip() {
+        let text = format_case(
+            "resplit",
+            "found by seed 42\nshrunk from 120 nodes",
+            "//a[b]",
+            b"<r><a><b/></a></r>",
+        );
+        let case = parse_case(&text).unwrap();
+        assert_eq!(case.kind, "resplit");
+        assert_eq!(case.query, "//a[b]");
+        assert_eq!(case.xml, b"<r><a><b/></a></r>");
+        assert!(case_query(&case).is_ok());
+    }
+
+    #[test]
+    fn malformed_cases_error() {
+        assert!(parse_case("kind: x\nquery: //a\n").is_err(), "missing xml");
+        assert!(parse_case("bogus line\n").is_err());
+        assert!(case_query(&Case {
+            kind: "x".into(),
+            query: "not-xpath".into(),
+            xml: b"<r/>".to_vec(),
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Metamorphic rewrite oracles: query transformations with a provable
+//! result-set relation.
+//!
+//! Each rewrite maps a query `Q` to a derived query `Q'` whose result
+//! set must relate to `Q`'s in a known way on **every** document:
+//!
+//! | rewrite            | example                  | relation          |
+//! |--------------------|--------------------------|-------------------|
+//! | axis relaxation    | `a/b` → `a//b`           | `Q' ⊇ Q`          |
+//! | tag relaxation     | `a/b` → `a/*`            | `Q' ⊇ Q`          |
+//! | predicate drop     | `a[b][c]` → `a[c]`       | `Q' ⊇ Q`          |
+//! | predicate reorder  | `a[b][c]` → `a[c][b]`    | `Q' = Q`          |
+//! | predicate dup      | `a[b]` → `a[b][b]`       | `Q' = Q`          |
+//! | anchor prepend     | `//a` → `//*//a`         | `Q' ⊆ Q`          |
+//! | child-exists       | `a` → `a[*]`             | `Q' ⊆ Q`          |
+//! | axis strengthening | `a//b` → `a/b`           | `Q' ⊆ Q`          |
+//!
+//! Soundness caveats baked into the enumeration:
+//!
+//! * Steps carrying a positional predicate `[n]` are never rewritten in
+//!   test or order: `[n]` counts *siblings matching the step's own name
+//!   test*, so `b[2]` → `*[2]` changes what is being counted and the
+//!   relation breaks. (Appending an extra filter after the positional
+//!   predicate is still sound — filters only remove.)
+//! * Only **top-level** steps are rewritten. A step inside a predicate
+//!   value sits under arbitrary `not(...)` nesting, where relaxation is
+//!   not monotone.
+//! * Predicates are dropped/duplicated/reordered whole, which is sound
+//!   under conjunction regardless of their internal structure.
+
+use twigm_xpath::{Axis, NameTest, Path, PredExpr, Step, Value};
+
+/// How a derived query's result set must relate to the base query's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `derived == base`.
+    Equal,
+    /// `derived ⊇ base` — the rewrite only relaxes.
+    Superset,
+    /// `derived ⊆ base` — the rewrite only constrains.
+    Subset,
+}
+
+impl Relation {
+    /// Checks the relation between two **sorted** id sets.
+    pub fn holds(self, base: &[u64], derived: &[u64]) -> bool {
+        match self {
+            Relation::Equal => base == derived,
+            Relation::Superset => is_subset(base, derived),
+            Relation::Subset => is_subset(derived, base),
+        }
+    }
+}
+
+/// `a ⊆ b` for sorted slices.
+fn is_subset(a: &[u64], b: &[u64]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.any(|y| y == x))
+}
+
+/// One derived query plus its expected relation to the base.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Which rewrite rule produced this (for failure reports).
+    pub rule: &'static str,
+    /// The expected result-set relation.
+    pub relation: Relation,
+    /// The derived query.
+    pub query: Path,
+}
+
+fn has_position(step: &Step) -> bool {
+    step.predicates
+        .iter()
+        .any(|p| matches!(p, PredExpr::Position(_)))
+}
+
+/// Enumerates every applicable rewrite of `base`. The count is bounded
+/// by `O(steps × predicates)`, all cheap clones.
+pub fn rewrites(base: &Path) -> Vec<Rewrite> {
+    let mut out = Vec::new();
+
+    for (i, step) in base.steps.iter().enumerate() {
+        // Axis relaxation / strengthening.
+        if !has_position(step) {
+            let flipped = match step.axis {
+                Axis::Child => ("axis-relax", Relation::Superset, Axis::Descendant),
+                Axis::Descendant => ("axis-strengthen", Relation::Subset, Axis::Child),
+            };
+            let mut derived = base.clone();
+            derived.steps[i].axis = flipped.2;
+            out.push(Rewrite {
+                rule: flipped.0,
+                relation: flipped.1,
+                query: derived,
+            });
+        }
+        // Tag → wildcard relaxation.
+        if !has_position(step) && matches!(step.test, NameTest::Tag(_)) {
+            let mut derived = base.clone();
+            derived.steps[i].test = NameTest::Wildcard;
+            out.push(Rewrite {
+                rule: "tag-relax",
+                relation: Relation::Superset,
+                query: derived,
+            });
+        }
+        // Drop each predicate (a conjunct) in turn. Dropping a leading
+        // `[n]` is sound too — position is itself just a filter.
+        for j in 0..step.predicates.len() {
+            let mut derived = base.clone();
+            derived.steps[i].predicates.remove(j);
+            out.push(Rewrite {
+                rule: "pred-drop",
+                relation: Relation::Superset,
+                query: derived,
+            });
+        }
+        // Reorder (reverse) predicates: conjunction commutes. Positional
+        // predicates must stay first, so skip those steps.
+        if step.predicates.len() >= 2 && !has_position(step) {
+            let mut derived = base.clone();
+            derived.steps[i].predicates.reverse();
+            out.push(Rewrite {
+                rule: "pred-reorder",
+                relation: Relation::Equal,
+                query: derived,
+            });
+        }
+        // Duplicate the last predicate: `p and p == p`. Appending keeps
+        // a leading positional predicate first.
+        if let Some(last) = step.predicates.last() {
+            if !matches!(last, PredExpr::Position(_)) {
+                let mut derived = base.clone();
+                derived.steps[i].predicates.push(last.clone());
+                out.push(Rewrite {
+                    rule: "pred-dup",
+                    relation: Relation::Equal,
+                    query: derived,
+                });
+            }
+        }
+        // Constrain with an element-child existence test. Appending
+        // keeps a leading positional predicate first, so this is always
+        // applicable.
+        {
+            let mut derived = base.clone();
+            derived.steps[i]
+                .predicates
+                .push(PredExpr::Exists(Value::path(vec![Step::new(
+                    Axis::Child,
+                    NameTest::Wildcard,
+                )])));
+            out.push(Rewrite {
+                rule: "child-exists",
+                relation: Relation::Subset,
+                query: derived,
+            });
+        }
+    }
+
+    // `//a/...` → `//*//a/...`: forces a proper element ancestor, so the
+    // derived set loses (at most) root-element matches.
+    if base.steps[0].axis == Axis::Descendant {
+        let mut derived = base.clone();
+        derived
+            .steps
+            .insert(0, Step::new(Axis::Descendant, NameTest::Wildcard));
+        out.push(Rewrite {
+            rule: "anchor-prepend",
+            relation: Relation::Subset,
+            query: derived,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_baselines::inmem::Document;
+    use twigm_datagen::SplitMix64;
+    use twigm_xpath::parse;
+
+    use crate::check::oracle_ids;
+    use crate::querygen::{generate_query, QueryConfig};
+    use crate::xmlgen::{generate_doc, DocConfig};
+
+    #[test]
+    fn subset_check_on_sorted_slices() {
+        assert!(Relation::Superset.holds(&[1, 3], &[1, 2, 3]));
+        assert!(!Relation::Superset.holds(&[1, 4], &[1, 2, 3]));
+        assert!(Relation::Subset.holds(&[1, 2, 3], &[2]));
+        assert!(!Relation::Subset.holds(&[2], &[1, 2, 3]));
+        assert!(Relation::Equal.holds(&[1, 2], &[1, 2]));
+        assert!(!Relation::Equal.holds(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn known_rewrites_are_enumerated() {
+        let rules: Vec<&str> = rewrites(&parse("//a[b][c]/d").unwrap())
+            .iter()
+            .map(|r| r.rule)
+            .collect();
+        for expected in [
+            "axis-strengthen",
+            "axis-relax",
+            "tag-relax",
+            "pred-drop",
+            "pred-reorder",
+            "pred-dup",
+            "child-exists",
+            "anchor-prepend",
+        ] {
+            assert!(rules.contains(&expected), "{expected} missing: {rules:?}");
+        }
+    }
+
+    #[test]
+    fn derived_queries_reparse() {
+        let mut rng = SplitMix64::seed_from_u64(21);
+        let cfg = QueryConfig::default();
+        for _ in 0..200 {
+            let base = generate_query(&mut rng, &cfg);
+            for rw in rewrites(&base) {
+                let text = rw.query.to_string();
+                parse(&text).unwrap_or_else(|e| {
+                    panic!(
+                        "{} derived unparseable `{text}` from `{base}`: {e}",
+                        rw.rule
+                    )
+                });
+            }
+        }
+    }
+
+    /// The relations must hold on the oracle itself — this is the
+    /// mathematical soundness check for the rewrite table, independent
+    /// of any streaming engine.
+    #[test]
+    fn relations_hold_on_the_oracle() {
+        let mut rng = SplitMix64::seed_from_u64(22);
+        let doc_cfg = DocConfig::default();
+        let query_cfg = QueryConfig::default();
+        for _ in 0..60 {
+            let xml = generate_doc(&mut rng, &doc_cfg);
+            let doc = Document::parse_bytes(&xml).unwrap();
+            for _ in 0..3 {
+                let base = generate_query(&mut rng, &query_cfg);
+                let base_ids = oracle_ids(&doc, &base);
+                for rw in rewrites(&base) {
+                    let derived_ids = oracle_ids(&doc, &rw.query);
+                    assert!(
+                        rw.relation.holds(&base_ids, &derived_ids),
+                        "{} broke {:?}: `{base}` -> `{}`\nbase {base_ids:?}\nderived {derived_ids:?}\nxml {}",
+                        rw.rule,
+                        rw.relation,
+                        rw.query,
+                        String::from_utf8_lossy(&xml),
+                    );
+                }
+            }
+        }
+    }
+}

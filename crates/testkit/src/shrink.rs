@@ -1,0 +1,257 @@
+//! Failure-case minimization: document subtree deletion plus
+//! query-subtree deletion, keeping only changes that preserve the
+//! original violation kind.
+//!
+//! Shrinking re-runs the full check battery after every candidate edit,
+//! so the budget caps the number of battery evaluations rather than
+//! iterations; even so, typical generated cases shrink to a handful of
+//! elements within a few dozen evaluations.
+
+use twigm_baselines::inmem::Document;
+use twigm_sax::{escape_attr, escape_text};
+use twigm_xpath::{Path, PredExpr};
+
+use crate::check::{Violation, ViolationKind};
+
+/// A reproducible failing case.
+#[derive(Debug, Clone)]
+pub struct FailingCase {
+    /// The document bytes.
+    pub xml: Vec<u8>,
+    /// The query under test.
+    pub query: Path,
+    /// The violation kind that must be preserved while shrinking.
+    pub kind: ViolationKind,
+}
+
+/// A single-node deletion to apply while re-serializing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delete {
+    /// Keep every node.
+    None,
+    /// Remove the node together with its whole subtree.
+    Subtree(usize),
+    /// Remove the node but hoist its children into its parent (its own
+    /// text is dropped). This reaches minima plain subtree deletion
+    /// cannot: when the bug needs a descendant of the deleted node.
+    Splice(usize),
+}
+
+/// Canonically serializes a parsed document: attributes in stored order,
+/// an element's direct text emitted before its children (engine and
+/// oracle semantics only see per-element text *concatenation*, so this
+/// preserves every verdict), no insignificant whitespace.
+pub fn serialize(doc: &Document) -> Vec<u8> {
+    serialize_impl(doc, Delete::None)
+}
+
+fn serialize_impl(doc: &Document, del: Delete) -> Vec<u8> {
+    fn emit(doc: &Document, idx: usize, del: Delete, out: &mut Vec<u8>) {
+        if del == Delete::Subtree(idx) {
+            return;
+        }
+        let node = &doc.nodes()[idx];
+        if del == Delete::Splice(idx) {
+            for &child in &node.children {
+                emit(doc, child, del, out);
+            }
+            return;
+        }
+        let mut body = Vec::new();
+        body.extend_from_slice(escape_text(&node.text).as_bytes());
+        for &child in &node.children {
+            emit(doc, child, del, &mut body);
+        }
+        out.push(b'<');
+        out.extend_from_slice(node.tag.as_bytes());
+        for (name, value) in &node.attrs {
+            out.push(b' ');
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b"=\"");
+            out.extend_from_slice(escape_attr(value).as_bytes());
+            out.push(b'"');
+        }
+        if body.is_empty() {
+            out.extend_from_slice(b"/>");
+        } else {
+            out.push(b'>');
+            out.extend_from_slice(&body);
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(node.tag.as_bytes());
+            out.push(b'>');
+        }
+    }
+    let mut out = Vec::new();
+    if !doc.is_empty() {
+        emit(doc, 0, del, &mut out);
+    }
+    out
+}
+
+/// Does the battery still report the same violation kind?
+fn still_fails(
+    check: &dyn Fn(&[u8], &Path) -> Vec<Violation>,
+    xml: &[u8],
+    query: &Path,
+    kind: ViolationKind,
+) -> bool {
+    check(xml, query).iter().any(|v| v.kind == kind)
+}
+
+/// Greedily minimizes a failing case. `check` must be the same battery
+/// that found the failure; `budget` caps how many times it is re-run.
+pub fn shrink(
+    case: &FailingCase,
+    check: &dyn Fn(&[u8], &Path) -> Vec<Violation>,
+    mut budget: usize,
+) -> FailingCase {
+    let mut best = case.clone();
+
+    // Phase 1: delete document subtrees (largest candidate set first is
+    // implicit — deleting node i removes its whole subtree).
+    while let Ok(doc) = Document::parse_bytes(&best.xml) {
+        // Re-serialize canonically first: strips comments/PIs/CDATA
+        // framing for free if that alone keeps the bug alive.
+        if budget > 0 {
+            let canon = serialize(&doc);
+            budget -= 1;
+            if canon != best.xml && still_fails(check, &canon, &best.query, best.kind) {
+                best.xml = canon;
+            }
+        }
+        let mut improved = false;
+        'nodes: for idx in 1..doc.len() {
+            // Whole-subtree removal first (removes more), then splice
+            // (keeps the descendants the bug may depend on).
+            for del in [Delete::Subtree(idx), Delete::Splice(idx)] {
+                if budget == 0 {
+                    break 'nodes;
+                }
+                let candidate = serialize_impl(&doc, del);
+                budget -= 1;
+                if still_fails(check, &candidate, &best.query, best.kind) {
+                    best.xml = candidate;
+                    improved = true;
+                    break 'nodes; // node indices shifted; reparse
+                }
+            }
+        }
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+
+    // Phase 2: simplify the query — drop whole predicates, then whole
+    // steps (keeping at least one), then the trailing attribute
+    // selector.
+    loop {
+        let mut improved = false;
+        for candidate in query_shrinks(&best.query) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if still_fails(check, &best.xml, &candidate, best.kind) {
+                best.query = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// One-edit-smaller variants of a query.
+fn query_shrinks(query: &Path) -> Vec<Path> {
+    let mut out = Vec::new();
+    for (i, step) in query.steps.iter().enumerate() {
+        for j in 0..step.predicates.len() {
+            let mut q = query.clone();
+            q.steps[i].predicates.remove(j);
+            out.push(q);
+        }
+        // Simplify composite predicates to one operand.
+        for (j, pred) in step.predicates.iter().enumerate() {
+            for simpler in pred_shrinks(pred) {
+                let mut q = query.clone();
+                q.steps[i].predicates[j] = simpler;
+                out.push(q);
+            }
+        }
+    }
+    if query.steps.len() > 1 {
+        for i in 0..query.steps.len() {
+            let mut q = query.clone();
+            q.steps.remove(i);
+            out.push(q);
+        }
+    }
+    if query.attr.is_some() {
+        let mut q = query.clone();
+        q.attr = None;
+        out.push(q);
+    }
+    out
+}
+
+fn pred_shrinks(pred: &PredExpr) -> Vec<PredExpr> {
+    match pred {
+        PredExpr::Not(inner) => vec![(**inner).clone()],
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => vec![(**a).clone(), (**b).clone()],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    #[test]
+    fn serialization_roundtrips_semantics() {
+        let xml = b"<r x=\"1\"><!-- c --><a>t&amp;1<![CDATA[<raw>]]><b/></a><a/></r>";
+        let doc = Document::parse_bytes(xml).unwrap();
+        let canon = serialize(&doc);
+        let re = Document::parse_bytes(&canon).unwrap();
+        assert_eq!(doc.len(), re.len());
+        for (a, b) in doc.nodes().iter().zip(re.nodes()) {
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.attrs, b.attrs);
+        }
+    }
+
+    #[test]
+    fn shrinks_a_synthetic_failure_to_its_core() {
+        // Synthetic bug: "fails" whenever the document contains a <b>
+        // element and the query mentions tag b.
+        let check = |xml: &[u8], query: &Path| -> Vec<Violation> {
+            let has_b = Document::parse_bytes(xml)
+                .map(|d| d.nodes().iter().any(|n| n.tag == "b"))
+                .unwrap_or(false);
+            if has_b && query.to_string().contains('b') {
+                vec![Violation {
+                    kind: ViolationKind::Divergence,
+                    engine: "synthetic",
+                    query: query.to_string(),
+                    detail: "synthetic".into(),
+                }]
+            } else {
+                Vec::new()
+            }
+        };
+        let case = FailingCase {
+            xml: b"<r><a><c/><b>deep</b></a><d/><e><e/></e></r>".to_vec(),
+            query: parse("//a[c]//b[d or e]/f").unwrap(),
+            kind: ViolationKind::Divergence,
+        };
+        let small = shrink(&case, &check, 500);
+        let doc = Document::parse_bytes(&small.xml).unwrap();
+        assert!(doc.len() <= 2, "document not minimized: {doc:?}");
+        assert!(small.query.to_string().len() < case.query.to_string().len());
+        assert!(still_fails(&check, &small.xml, &small.query, case.kind));
+    }
+}

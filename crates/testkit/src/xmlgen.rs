@@ -1,0 +1,245 @@
+//! Structure-aware random XML document generation.
+//!
+//! Documents are built over a small tag alphabet on purpose: with few
+//! distinct tags, random trees are *recursive* (the same tag repeats
+//! along root-to-leaf paths) with high probability, which is exactly the
+//! regime where compact-encoding bugs and Theorem 4.4 violations would
+//! hide. Lexical noise — CDATA sections, entity and numeric character
+//! references, comments, processing instructions, attribute quoting
+//! styles — is injected so the SAX layer is fuzzed together with the
+//! engines.
+//!
+//! Generated text never contains newlines, so a whole document fits one
+//! line of a corpus `.case` file.
+
+use twigm_datagen::SplitMix64;
+
+/// The tag alphabet documents and queries draw from. Single letters keep
+/// clear of the XPath keywords (`and`, `or`, `not`, `count`, ...).
+pub const TAGS: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+
+/// The attribute-name alphabet.
+pub const ATTRS: [&str; 4] = ["id", "x", "y", "w"];
+
+/// Shape and noise parameters for document generation.
+#[derive(Debug, Clone)]
+pub struct DocConfig {
+    /// Maximum element nesting depth (root = 1).
+    pub max_depth: u32,
+    /// Maximum element children per element.
+    pub max_children: usize,
+    /// How many of [`TAGS`] to use (small ⇒ recursive documents).
+    pub tag_alphabet: usize,
+    /// Probability of forcing a deep chain at each element — skews trees
+    /// toward the deep, narrow shapes where the `|Q|·R` bound has teeth.
+    pub skew: f64,
+    /// Per-attribute-slot probability of emitting an attribute.
+    pub attr_prob: f64,
+    /// Probability of a text run in each content slot.
+    pub text_prob: f64,
+    /// Probability that a text run is wrapped in a CDATA section.
+    pub cdata_prob: f64,
+    /// Probability that a text character is written as a character
+    /// reference (named or numeric) instead of a literal.
+    pub entity_prob: f64,
+    /// Probability of a comment in each content slot.
+    pub comment_prob: f64,
+    /// Probability of a processing instruction in each content slot.
+    pub pi_prob: f64,
+}
+
+impl Default for DocConfig {
+    fn default() -> Self {
+        DocConfig {
+            max_depth: 8,
+            max_children: 3,
+            tag_alphabet: 4,
+            skew: 0.35,
+            attr_prob: 0.25,
+            text_prob: 0.4,
+            cdata_prob: 0.15,
+            entity_prob: 0.15,
+            comment_prob: 0.08,
+            pi_prob: 0.05,
+        }
+    }
+}
+
+/// Generates one well-formed document from the seed stream.
+pub fn generate_doc(rng: &mut SplitMix64, cfg: &DocConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(512);
+    if rng.gen_bool(0.3) {
+        out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    }
+    if rng.gen_bool(0.15) {
+        out.extend_from_slice(b"<!-- prologue -->");
+    }
+    element(rng, cfg, 1, &mut out);
+    if rng.gen_bool(0.1) {
+        out.extend_from_slice(b"<!-- epilogue -->");
+    }
+    out
+}
+
+fn tag<'a>(rng: &mut SplitMix64, cfg: &DocConfig) -> &'a str {
+    TAGS[rng.index(cfg.tag_alphabet.clamp(1, TAGS.len()))]
+}
+
+fn element(rng: &mut SplitMix64, cfg: &DocConfig, depth: u32, out: &mut Vec<u8>) {
+    let name = tag(rng, cfg);
+    out.push(b'<');
+    out.extend_from_slice(name.as_bytes());
+    attributes(rng, cfg, out);
+
+    // Decide the child list up front so empty elements can use the
+    // self-closing form half the time.
+    let mut children = if depth >= cfg.max_depth {
+        0
+    } else {
+        rng.range_usize(0, cfg.max_children)
+    };
+    if depth < cfg.max_depth && rng.gen_bool(cfg.skew) {
+        children = children.max(1);
+    }
+    let has_text = rng.gen_bool(cfg.text_prob);
+
+    if children == 0 && !has_text && rng.gen_bool(0.5) {
+        out.extend_from_slice(b"/>");
+        return;
+    }
+    out.push(b'>');
+    for i in 0..=children {
+        if i < children {
+            // Lexical noise between children.
+            if rng.gen_bool(cfg.comment_prob) {
+                comment(rng, out);
+            }
+            if rng.gen_bool(cfg.pi_prob) {
+                out.extend_from_slice(b"<?hint keep?>");
+            }
+            element(rng, cfg, depth + 1, out);
+        }
+        if has_text && rng.gen_bool(0.6) {
+            text_run(rng, cfg, out);
+        }
+    }
+    out.extend_from_slice(b"</");
+    out.extend_from_slice(name.as_bytes());
+    out.push(b'>');
+}
+
+fn attributes(rng: &mut SplitMix64, cfg: &DocConfig, out: &mut Vec<u8>) {
+    // Each name is visited once, so attribute uniqueness holds by
+    // construction.
+    for name in ATTRS.iter() {
+        if !rng.gen_bool(cfg.attr_prob) {
+            continue;
+        }
+        let quote = if rng.gen_bool(0.5) { b'"' } else { b'\'' };
+        out.push(b' ');
+        out.extend_from_slice(name.as_bytes());
+        out.push(b'=');
+        out.push(quote);
+        // Mostly small numbers so numeric comparisons in queries bite;
+        // occasionally a short string with a reference in it.
+        if rng.gen_bool(0.7) {
+            out.extend_from_slice(rng.range_usize(0, 9).to_string().as_bytes());
+        } else {
+            out.extend_from_slice(b"v");
+            if rng.gen_bool(0.3) {
+                out.extend_from_slice(b"&amp;");
+            }
+            out.extend_from_slice(rng.range_usize(0, 9).to_string().as_bytes());
+        }
+        out.push(quote);
+    }
+}
+
+fn comment(rng: &mut SplitMix64, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"<!-- ");
+    // Single hyphens and markup-looking bytes are legal inside comments.
+    out.extend_from_slice(match rng.index(3) {
+        0 => b"note - <fake>".as_slice(),
+        1 => b"x > y".as_slice(),
+        _ => b"skip &und;".as_slice(),
+    });
+    out.extend_from_slice(b" -->");
+}
+
+/// Emits a short text run, randomly choosing literal characters,
+/// character references (named and numeric, decimal and hex), or a CDATA
+/// wrapping that stresses `]]>` adjacency.
+fn text_run(rng: &mut SplitMix64, cfg: &DocConfig, out: &mut Vec<u8>) {
+    if rng.gen_bool(cfg.cdata_prob) {
+        out.extend_from_slice(b"<![CDATA[");
+        out.extend_from_slice(match rng.index(4) {
+            0 => b"raw <markup> & [stuff]".as_slice(),
+            1 => b"]] close-adjacent".as_slice(),
+            2 => b"t]".as_slice(),
+            _ => b"".as_slice(), // empty CDATA
+        });
+        out.extend_from_slice(b"]]>");
+        return;
+    }
+    const PLAIN: &[u8] = b"abcdefgh maybe 0123456789.";
+    let len = rng.range_usize(1, 8);
+    for _ in 0..len {
+        if rng.gen_bool(cfg.entity_prob) {
+            out.extend_from_slice(match rng.index(6) {
+                0 => b"&amp;".as_slice(),
+                1 => b"&lt;".as_slice(),
+                2 => b"&gt;".as_slice(),
+                3 => b"&#38;".as_slice(),
+                4 => b"&#x3C;".as_slice(),
+                _ => b"&quot;".as_slice(),
+            });
+        } else {
+            out.push(PLAIN[rng.index(PLAIN.len())]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_baselines::inmem::Document;
+
+    #[test]
+    fn generated_documents_are_well_formed() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let cfg = DocConfig::default();
+        for _ in 0..200 {
+            let xml = generate_doc(&mut rng, &cfg);
+            let doc = Document::parse_bytes(&xml)
+                .unwrap_or_else(|e| panic!("{e}: {}", String::from_utf8_lossy(&xml)));
+            assert!(!doc.is_empty());
+            assert!(doc.depth() <= cfg.max_depth);
+        }
+    }
+
+    #[test]
+    fn small_alphabets_produce_recursive_documents() {
+        let mut rng = SplitMix64::seed_from_u64(2);
+        let cfg = DocConfig {
+            tag_alphabet: 2,
+            ..DocConfig::default()
+        };
+        let recursive = (0..50)
+            .filter(|_| {
+                Document::parse_bytes(&generate_doc(&mut rng, &cfg))
+                    .unwrap()
+                    .is_recursive()
+            })
+            .count();
+        assert!(recursive > 20, "only {recursive}/50 recursive");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_single_line() {
+        let cfg = DocConfig::default();
+        let a = generate_doc(&mut SplitMix64::seed_from_u64(7), &cfg);
+        let b = generate_doc(&mut SplitMix64::seed_from_u64(7), &cfg);
+        assert_eq!(a, b);
+        assert!(!a.contains(&b'\n'));
+    }
+}

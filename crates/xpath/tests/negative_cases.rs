@@ -1,0 +1,93 @@
+//! Table-driven negative tests for the XPath parser: each malformed
+//! query must be rejected at a precise position with a precise message,
+//! so error reporting cannot silently regress into a catch-all.
+
+use twigm_xpath::parse;
+
+/// (query, expected error position, required message fragment).
+const CASES: &[(&str, usize, &str)] = &[
+    // Absolute-path anchoring.
+    ("", 0, "a query must start with `/` or `//`"),
+    ("x", 0, "a query must start with `/` or `//`"),
+    ("a/b", 0, "a query must start with `/` or `//`"),
+    // Empty steps.
+    ("//", 2, "expected a name or `*`, found end of query"),
+    ("//a//", 5, "expected a name or `*`, found end of query"),
+    ("/a/", 3, "expected a name or `*`, found end of query"),
+    // Unbalanced / stray brackets.
+    ("//a[", 4, "expected a name or `*`, found end of query"),
+    ("//a]", 3, "unexpected `]` after query"),
+    ("//a[b]]", 6, "unexpected `]` after query"),
+    ("//a[not b]", 8, "expected `]`, found name `b`"),
+    // `//` (or `/`) opening a predicate.
+    (
+        "//a[//b]",
+        4,
+        "absolute paths are not allowed in predicates",
+    ),
+    ("//a[/b]", 4, "absolute paths are not allowed in predicates"),
+    // Attribute-axis misuse.
+    ("//@x", 2, "descendant-axis attribute selection"),
+    ("//a/@", 5, "expected an attribute name, found end of query"),
+    ("//a/@id/b", 7, "unexpected `/` after query"),
+    // Bare `.` in a predicate.
+    ("//a[.]", 5, "`.` must be followed by `/` or `//`"),
+    // Positional-predicate placement rules.
+    ("//a[2][3]", 9, "must be the step's first predicate"),
+    ("//a[b][2]", 9, "must be the step's first predicate"),
+    ("//a[2 and b]", 6, "must stand alone"),
+    ("//a[0]", 4, "positive integer, found 0"),
+    ("//a[-1]", 4, "positive integer, found -1"),
+    // Function-argument shapes.
+    (
+        "//a[count(b/c)>1]",
+        13,
+        "count() supports a single location step",
+    ),
+    ("//a[count(b)]", 12, "count() must be compared"),
+    ("//a[contains(x)]", 14, "expected `,` in contains()"),
+    // Comparison right-hand sides.
+    ("//a[@x=]", 7, "expected a string or number literal"),
+    ("//a[b=]", 6, "expected a string or number literal"),
+];
+
+#[test]
+fn malformed_queries_fail_with_precise_errors() {
+    for &(query, position, fragment) in CASES {
+        let err = parse(query)
+            .map(|p| panic!("`{query}` parsed as `{p}` but must fail"))
+            .unwrap_err();
+        assert!(
+            err.message.contains(fragment),
+            "`{query}`: message `{}` missing `{fragment}`",
+            err.message
+        );
+        assert_eq!(
+            err.position, position,
+            "`{query}`: error at {} not {position} ({})",
+            err.position, err.message
+        );
+    }
+}
+
+#[test]
+fn near_miss_queries_still_parse() {
+    // The positive twin of each family above, guarding against the
+    // negative table passing because the parser rejects too much.
+    for query in [
+        "/a/b",
+        "//a//b",
+        "//a[b]",
+        "//a[not(b)]",
+        "//a[.//b]",
+        "//a/@id",
+        "//a[2]",
+        "//a[2][b]",
+        "//a[count(b) > 1]",
+        "//a[contains(@x, 'v')]",
+        "//a[@x = 'v']",
+        "//a[text() = 'v']",
+    ] {
+        parse(query).unwrap_or_else(|e| panic!("`{query}` must parse: {e}"));
+    }
+}

@@ -23,4 +23,20 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
+# Time-bounded seeded fuzz over the release binary: same fixed seed every
+# run, so a red stage is reproducible with
+#   target/release/testkit-fuzz --seed 0x7716.. --cases N
+# Scale with FUZZ_CASES (0 skips the stage); shrunk reproductions of any
+# failure land in tests/corpus/ ready to commit.
+FUZZ_CASES="${FUZZ_CASES:-2000}"
+cargo build --release -p twigm-testkit
+if [ "$FUZZ_CASES" -gt 0 ]; then
+    echo "==> fuzz smoke: $FUZZ_CASES seeded cases (FUZZ_CASES to scale)"
+    target/release/testkit-fuzz --seed 0x77163E57 --cases "$FUZZ_CASES" \
+        --corpus-dir tests/corpus
+fi
+
+echo "==> corpus replay: shrunk past failures stay fixed"
+target/release/testkit-fuzz --replay tests/corpus
+
 echo "CI green."

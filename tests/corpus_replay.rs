@@ -1,0 +1,45 @@
+//! The corpus gate: every `tests/corpus/*.case` file — a shrunk
+//! reproduction of a past failure — is replayed through the full check
+//! battery on every `cargo test`. A bug that was found once stays found.
+
+use std::path::PathBuf;
+
+use twigm_testkit::corpus::parse_case;
+use twigm_testkit::runner::replay_case;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "tests/corpus has no .case files");
+
+    let mut failures = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        let case =
+            parse_case(&text).unwrap_or_else(|e| panic!("{} is malformed: {e}", file.display()));
+        match replay_case(&case) {
+            Ok(violations) if violations.is_empty() => {}
+            Ok(violations) => {
+                for v in violations {
+                    failures.push(format!("{}: {v}", file.display()));
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", file.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,54 @@
+//! Tier-1 smoke fuzz: a small, fixed-seed slice of the testkit fuzz
+//! loop runs on every `cargo test`. The long-run knob is the
+//! `testkit-fuzz` binary (see docs/testing.md); this gate just keeps the
+//! whole harness — generators, differential battery, resplit drivers,
+//! metamorphic oracles — honest and green without noticeable test time.
+
+use twigm_testkit::runner::{run_fuzz, FuzzConfig};
+
+/// The pinned smoke seed. Changing it is fine; changing it to dodge a
+/// failure is not — shrink the failure into tests/corpus/ instead.
+const SMOKE_SEED: u64 = 0x7716_3E57;
+
+#[test]
+fn smoke_fuzz_finds_no_violations() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: SMOKE_SEED,
+        cases: 300,
+        ..FuzzConfig::default()
+    });
+    assert_eq!(report.cases, 300);
+    let messages: Vec<String> = report
+        .failures
+        .iter()
+        .flat_map(|f| {
+            f.violations
+                .iter()
+                .map(move |v| format!("case {} (seed {:#x}): {v}", f.index, f.case_seed))
+        })
+        .collect();
+    assert!(
+        messages.is_empty(),
+        "smoke fuzz found violations:\n{}",
+        messages.join("\n")
+    );
+}
+
+#[test]
+fn smoke_fuzz_is_bit_for_bit_reproducible() {
+    let cfg = FuzzConfig {
+        seed: SMOKE_SEED,
+        cases: 60,
+        ..FuzzConfig::default()
+    };
+    let a = run_fuzz(&cfg);
+    let b = run_fuzz(&cfg);
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed, different run");
+    assert_eq!(a.checks, b.checks);
+
+    let other = run_fuzz(&FuzzConfig { seed: 1, ..cfg });
+    assert_ne!(
+        a.fingerprint, other.fingerprint,
+        "fingerprint is insensitive to the seed"
+    );
+}
