@@ -33,6 +33,19 @@ pub enum EngineChoice {
     Dom,
 }
 
+/// How to report run statistics on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsMode {
+    /// No stats reporting (default).
+    Off,
+    /// The classic one-line counter summary (`--stats`).
+    Text,
+    /// One `twigm-stats-v1` JSON object (`--stats=json`).
+    Json,
+    /// A multi-line human-readable report (`--stats=pretty`).
+    Pretty,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -44,8 +57,13 @@ pub struct Args {
     pub output: OutputMode,
     /// Engine selection.
     pub engine: EngineChoice,
-    /// Print engine work counters to stderr.
-    pub stats: bool,
+    /// Stats reporting mode (stderr).
+    pub stats: StatsMode,
+    /// Write a machine transition trace to this file (`.jsonl` = JSON
+    /// Lines, anything else = Chrome trace-event JSON).
+    pub trace: Option<String>,
+    /// Periodic throughput heartbeats on stderr.
+    pub progress: bool,
     /// Print elapsed time to stderr.
     pub time: bool,
     /// Filtering mode: report each matching query once (with `-q`).
@@ -74,7 +92,17 @@ OPTIONS:
         --engine NAME   auto|twig|path|branch|naive|dfa|dom (default auto)
         --filter        with -q: boolean filtering — print each matching
                         query once and stop evaluating it (pub/sub mode)
-        --stats         print engine work counters to stderr
+        --stats[=MODE]  print run statistics to stderr; MODE is text
+                        (default: one-line counters), json (one
+                        twigm-stats-v1 object), or pretty (multi-line
+                        report with throughput and the |Q|·R bound)
+        --trace FILE    record every machine transition (pushes, pops,
+                        uploads, results); FILE ending in .jsonl gets
+                        JSON Lines, anything else the Chrome trace-event
+                        format (open in chrome://tracing or Perfetto);
+                        machine engines only, --ids/--count output
+        --progress      print throughput heartbeats to stderr while
+                        streaming
         --time          print elapsed time to stderr
     -h, --help          show this help
 
@@ -88,7 +116,9 @@ impl Args {
             file: None,
             output: OutputMode::Ids,
             engine: EngineChoice::Auto,
-            stats: false,
+            stats: StatsMode::Off,
+            trace: None,
+            progress: false,
             time: false,
             filter: false,
         };
@@ -107,7 +137,22 @@ impl Args {
                 "--values" => args.output = OutputMode::Values,
                 "--fragments" => args.output = OutputMode::Fragments,
                 "-c" | "--count" => args.output = OutputMode::Count,
-                "--stats" => args.stats = true,
+                "--stats" => args.stats = StatsMode::Text,
+                mode if mode.starts_with("--stats=") => {
+                    args.stats = match &mode["--stats=".len()..] {
+                        "text" => StatsMode::Text,
+                        "json" => StatsMode::Json,
+                        "pretty" => StatsMode::Pretty,
+                        other => {
+                            return Err(format!("unknown stats mode `{other}` (text|json|pretty)"))
+                        }
+                    };
+                }
+                "--trace" => {
+                    let path = argv.next().ok_or("--trace requires a file path")?;
+                    args.trace = Some(path);
+                }
+                "--progress" => args.progress = true,
                 "--filter" => args.filter = true,
                 "--time" => args.time = true,
                 "--engine" => {
@@ -152,6 +197,24 @@ impl Args {
         if args.filter && matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
             return Err("--filter reports query names; --fragments/--values do not apply".into());
         }
+        if args.trace.is_some() {
+            if matches!(
+                args.engine,
+                EngineChoice::Naive | EngineChoice::Dfa | EngineChoice::Dom
+            ) {
+                return Err(
+                    "--trace records machine transitions; it requires a machine engine \
+                     (auto|twig|path|branch)"
+                        .into(),
+                );
+            }
+            if matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
+                return Err("--trace supports --ids/--count output only".into());
+            }
+            if args.queries.len() > 1 || args.filter {
+                return Err("--trace supports a single query only".into());
+            }
+        }
         Ok(Some(args))
     }
 }
@@ -186,9 +249,50 @@ mod tests {
             .unwrap();
         assert_eq!(args.output, OutputMode::Count);
         assert_eq!(args.engine, EngineChoice::Dom);
-        assert!(args.stats);
+        assert_eq!(args.stats, StatsMode::Text);
         assert!(args.time);
         assert_eq!(args.file.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn stats_modes_parse() {
+        assert_eq!(
+            parse(&["//a"]).unwrap().unwrap().stats,
+            StatsMode::Off,
+            "stats default off"
+        );
+        assert_eq!(
+            parse(&["--stats=json", "//a"]).unwrap().unwrap().stats,
+            StatsMode::Json
+        );
+        assert_eq!(
+            parse(&["--stats=pretty", "//a"]).unwrap().unwrap().stats,
+            StatsMode::Pretty
+        );
+        assert_eq!(
+            parse(&["--stats=text", "//a"]).unwrap().unwrap().stats,
+            StatsMode::Text
+        );
+        assert!(parse(&["--stats=csv", "//a"]).is_err());
+    }
+
+    #[test]
+    fn trace_and_progress_parse() {
+        let args = parse(&["--trace", "out.json", "--progress", "//a"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.trace.as_deref(), Some("out.json"));
+        assert!(args.progress);
+    }
+
+    #[test]
+    fn trace_restrictions_are_enforced() {
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--trace", "t.json", "--engine", "dom", "//a"]).is_err());
+        assert!(parse(&["--trace", "t.json", "--engine", "naive", "//a"]).is_err());
+        assert!(parse(&["--trace", "t.json", "--fragments", "//a"]).is_err());
+        assert!(parse(&["--trace", "t.json", "-q", "//a", "-q", "//b"]).is_err());
+        assert!(parse(&["--trace", "t.json", "--filter", "-q", "//a"]).is_err());
     }
 
     #[test]

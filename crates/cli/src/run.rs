@@ -1,16 +1,101 @@
-//! Query execution for the CLI: engine selection, output modes, stats.
+//! Query execution for the CLI: engine selection, output modes, stats,
+//! tracing, and progress reporting.
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 use twigm::attrs::AttrCollector;
-use twigm::engine::run_engine;
+use twigm::engine::{run_engine, run_engine_traced};
 use twigm::fragments::FragmentCollector;
 use twigm::multi::MultiTwigM;
-use twigm::{BranchM, Engine, EngineStats, PathM, StreamEngine, TwigM};
+use twigm::{BranchM, Engine, EngineStats, PathM, StreamEngine, StreamTelemetry, TwigM};
 use twigm_baselines::{inmem, LazyDfa, NaiveEnum};
+use twigm_obs::trace::TransitionTracer;
+use twigm_obs::{format_progress, StatsReport};
+use twigm_sax::NodeId;
 use twigm_xpath::Path;
 
-use crate::args::{Args, EngineChoice, OutputMode};
+use crate::args::{Args, EngineChoice, OutputMode, StatsMode};
+
+/// Events between `--progress` heartbeats.
+const PROGRESS_INTERVAL: u64 = 4096;
+
+/// Maps [`Engine::machine_name`] ("TwigM") to the `--engine` flag
+/// vocabulary ("twig") so stats reports use one naming scheme.
+fn engine_flag_name(machine_name: &str) -> &str {
+    match machine_name {
+        "PathM" => "path",
+        "BranchM" => "branch",
+        "TwigM" => "twig",
+        other => other,
+    }
+}
+
+/// Wall-clock measurements of one run, alongside the driver's stream
+/// accounting when the traced driver was used.
+struct RunMeta {
+    telemetry: Option<StreamTelemetry>,
+    duration: Duration,
+    time_to_first_result: Option<Duration>,
+}
+
+/// The engine after a drive, plus everything measured along the way.
+struct DriveOutcome<E> {
+    ids: Vec<NodeId>,
+    engine: E,
+    meta: RunMeta,
+}
+
+/// Whether this invocation needs the traced driver (byte/event
+/// accounting, first-result latency, progress callbacks).
+fn wants_telemetry(args: &Args) -> bool {
+    args.progress || matches!(args.stats, StatsMode::Json | StatsMode::Pretty)
+}
+
+/// Streams `input` through `engine`, choosing the plain or the traced
+/// driver depending on what the flags need. The plain driver is the
+/// default so `--stats` (text) keeps the exact pre-telemetry hot path.
+fn drive<E: StreamEngine>(
+    args: &Args,
+    engine: E,
+    input: &mut dyn Read,
+) -> Result<DriveOutcome<E>, String> {
+    let start = Instant::now();
+    if wants_telemetry(args) {
+        let mut first: Option<Duration> = None;
+        let mut next_heartbeat = PROGRESS_INTERVAL;
+        let (ids, engine, telemetry) = run_engine_traced(engine, input, 1, |p| {
+            if first.is_none() && p.results > 0 {
+                first = Some(start.elapsed());
+            }
+            if args.progress && p.events >= next_heartbeat {
+                next_heartbeat = p.events + PROGRESS_INTERVAL;
+                eprintln!("twigm: {}", format_progress(p, start.elapsed()));
+            }
+        })
+        .map_err(|e| e.to_string())?;
+        Ok(DriveOutcome {
+            ids,
+            engine,
+            meta: RunMeta {
+                telemetry: Some(telemetry),
+                duration: start.elapsed(),
+                time_to_first_result: first,
+            },
+        })
+    } else {
+        let (ids, engine) = run_engine(engine, input).map_err(|e| e.to_string())?;
+        Ok(DriveOutcome {
+            ids,
+            engine,
+            meta: RunMeta {
+                telemetry: None,
+                duration: start.elapsed(),
+                time_to_first_result: None,
+            },
+        })
+    }
+}
 
 /// Runs a single query, prints per `args.output`, returns the match
 /// count.
@@ -19,57 +104,44 @@ pub fn run_single(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Res
     // output.
     let branches = twigm_xpath::parse_union(&args.queries[0]).map_err(|e| e.to_string())?;
     if branches.len() > 1 {
-        if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
-            return Err("union queries run on the TwigM engine only".into());
-        }
-        if matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
-            return Err("--fragments/--values are not supported for union queries".into());
-        }
-        let ids = twigm::evaluate_union(&branches, input).map_err(|e| e.to_string())?;
-        match args.output {
-            OutputMode::Count => {
-                writeln!(out, "{}", ids.len()).map_err(|e| e.to_string())?;
-            }
-            _ => {
-                for id in &ids {
-                    writeln!(out, "{id}").map_err(|e| e.to_string())?;
-                }
-            }
-        }
-        return Ok(ids.len() as u64);
+        return run_union(args, &branches, input, out);
     }
     let query = parse_query(&args.queries[0])?;
     if args.output == OutputMode::Values && query.attr.is_none() {
         return Err("--values requires a query ending in `/@attr`".into());
+    }
+    if args.trace.is_some() {
+        return run_traced(args, &query, input, out);
     }
     let attr = query.attr.clone();
     match args.engine {
         EngineChoice::Dom => run_dom(args, &query, input, out),
         EngineChoice::Auto => {
             let engine = Engine::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            let name = engine_flag_name(engine.machine_name());
+            run_streaming(args, name, engine, attr, input, out)
         }
         EngineChoice::Twig => {
             let engine = TwigM::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            run_streaming(args, "twig", engine, attr, input, out)
         }
         EngineChoice::PathM => {
             if !query.is_predicate_free() {
                 return Err("--engine path requires a predicate-free query".into());
             }
             let engine = PathM::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            run_streaming(args, "path", engine, attr, input, out)
         }
         EngineChoice::BranchM => {
             if !query.is_branch_only() {
                 return Err("--engine branch requires an XP{/,[]} query".into());
             }
             let engine = BranchM::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            run_streaming(args, "branch", engine, attr, input, out)
         }
         EngineChoice::Naive => {
             let engine = NaiveEnum::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            run_streaming(args, "naive", engine, attr, input, out)
         }
         EngineChoice::Dfa => {
             if !query.is_predicate_free() {
@@ -80,13 +152,131 @@ pub fn run_single(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Res
                 );
             }
             let engine = LazyDfa::new(&query).map_err(|e| e.to_string())?;
-            run_streaming(args, engine, attr, input, out)
+            run_streaming(args, "dfa", engine, attr, input, out)
         }
     }
 }
 
+/// A `a | b` union: every branch compiles into the multi-query engine
+/// and the result sets merge. Rides the same drive/stats path as the
+/// single-query modes, so `--stats`/`--progress` work here too.
+fn run_union(
+    args: &Args,
+    branches: &[Path],
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
+        return Err("union queries run on the TwigM engine only".into());
+    }
+    if matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
+        return Err("--fragments/--values are not supported for union queries".into());
+    }
+    if args.trace.is_some() {
+        return Err("--trace is not supported for union queries".into());
+    }
+    let mut engine = MultiTwigM::new();
+    for branch in branches {
+        engine.add_query(branch).map_err(|e| e.to_string())?;
+    }
+    let outcome = drive(args, engine, input)?;
+    // Set-union semantics: sort into document order, drop ids matched
+    // by several branches.
+    let mut ids = outcome.ids;
+    ids.sort_unstable();
+    ids.dedup();
+    match args.output {
+        OutputMode::Count => {
+            writeln!(out, "{}", ids.len()).map_err(|e| e.to_string())?;
+        }
+        _ => {
+            for id in &ids {
+                writeln!(out, "{id}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let engine = outcome.engine;
+    report_stats(
+        args,
+        "multi",
+        engine.stats(),
+        StreamEngine::machine_size(&engine),
+        &outcome.meta,
+    );
+    Ok(ids.len() as u64)
+}
+
+/// Runs one query with a [`TransitionTracer`] attached and writes the
+/// recorded transitions to `args.trace` — JSON Lines when the file name
+/// ends in `.jsonl`, Chrome trace-event JSON otherwise.
+fn run_traced(
+    args: &Args,
+    query: &Path,
+    input: &mut dyn Read,
+    out: &mut dyn Write,
+) -> Result<u64, String> {
+    let tracer = TransitionTracer::new();
+    let engine: Engine<TransitionTracer> = match args.engine {
+        EngineChoice::Auto => Engine::with_observer(query, tracer).map_err(|e| e.to_string())?,
+        EngineChoice::Twig => {
+            Engine::Twig(TwigM::with_observer(query, tracer).map_err(|e| e.to_string())?)
+        }
+        EngineChoice::PathM => {
+            if !query.is_predicate_free() {
+                return Err("--engine path requires a predicate-free query".into());
+            }
+            Engine::Path(PathM::with_observer(query, tracer).map_err(|e| e.to_string())?)
+        }
+        EngineChoice::BranchM => {
+            if !query.is_branch_only() {
+                return Err("--engine branch requires an XP{/,[]} query".into());
+            }
+            Engine::Branch(BranchM::with_observer(query, tracer).map_err(|e| e.to_string())?)
+        }
+        // Rejected in Args::parse; defensive here.
+        _ => return Err("--trace requires a machine engine (auto|twig|path|branch)".into()),
+    };
+    let name = engine_flag_name(engine.machine_name());
+    let machine = engine.machine().clone();
+    let outcome = drive(args, engine, input)?;
+    match args.output {
+        OutputMode::Count => {
+            writeln!(out, "{}", outcome.ids.len()).map_err(|e| e.to_string())?;
+        }
+        _ => {
+            for id in &outcome.ids {
+                writeln!(out, "{id}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let engine = outcome.engine;
+    report_stats(
+        args,
+        name,
+        engine.stats(),
+        StreamEngine::machine_size(&engine),
+        &outcome.meta,
+    );
+    let trace_path = args.trace.as_deref().expect("checked by caller");
+    let tracer = engine.into_observer();
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "twigm: trace limit reached; {} transition(s) not recorded",
+            tracer.dropped()
+        );
+    }
+    let text = if trace_path.ends_with(".jsonl") {
+        tracer.to_jsonl(Some(&machine))
+    } else {
+        tracer.to_chrome_trace(Some(&machine))
+    };
+    std::fs::write(trace_path, text).map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+    Ok(outcome.ids.len() as u64)
+}
+
 fn run_streaming<E: StreamEngine>(
     args: &Args,
+    name: &str,
     engine: E,
     attr: Option<String>,
     input: &mut dyn Read,
@@ -97,39 +287,67 @@ fn run_streaming<E: StreamEngine>(
         OutputMode::Values => {
             let attr = attr.expect("validated in run_single");
             let collector = AttrCollector::new(engine, attr);
-            let (_, mut collector) = run_engine(collector, input).map_err(|e| e.to_string())?;
+            let outcome = drive(args, collector, input)?;
+            let mut collector = outcome.engine;
             let values = collector.take_values();
             let count = values.len() as u64;
             for (_, value) in values {
                 writeln!(out, "{value}").map_err(io_err)?;
             }
-            print_stats(args, collector.stats());
+            report_stats(
+                args,
+                name,
+                collector.stats(),
+                StreamEngine::machine_size(&collector),
+                &outcome.meta,
+            );
             Ok(count)
         }
         OutputMode::Fragments => {
             let collector = FragmentCollector::new(engine);
-            let (_, mut collector) = run_engine(collector, input).map_err(|e| e.to_string())?;
+            let outcome = drive(args, collector, input)?;
+            let mut collector = outcome.engine;
             let fragments = collector.take_fragments();
             let count = fragments.len() as u64;
             for (_, fragment) in fragments {
                 writeln!(out, "{fragment}").map_err(io_err)?;
             }
-            print_stats(args, collector.stats());
+            report_stats(
+                args,
+                name,
+                collector.stats(),
+                StreamEngine::machine_size(&collector),
+                &outcome.meta,
+            );
             Ok(count)
         }
         OutputMode::Ids => {
-            let (ids, engine) = run_engine(engine, input).map_err(|e| e.to_string())?;
-            for id in &ids {
+            let outcome = drive(args, engine, input)?;
+            for id in &outcome.ids {
                 writeln!(out, "{id}").map_err(io_err)?;
             }
-            print_stats(args, engine.stats());
-            Ok(ids.len() as u64)
+            let engine = outcome.engine;
+            report_stats(
+                args,
+                name,
+                engine.stats(),
+                StreamEngine::machine_size(&engine),
+                &outcome.meta,
+            );
+            Ok(outcome.ids.len() as u64)
         }
         OutputMode::Count => {
-            let (ids, engine) = run_engine(engine, input).map_err(|e| e.to_string())?;
-            writeln!(out, "{}", ids.len()).map_err(io_err)?;
-            print_stats(args, engine.stats());
-            Ok(ids.len() as u64)
+            let outcome = drive(args, engine, input)?;
+            writeln!(out, "{}", outcome.ids.len()).map_err(io_err)?;
+            let engine = outcome.engine;
+            report_stats(
+                args,
+                name,
+                engine.stats(),
+                StreamEngine::machine_size(&engine),
+                &outcome.meta,
+            );
+            Ok(outcome.ids.len() as u64)
         }
     }
 }
@@ -140,6 +358,14 @@ fn run_dom(
     input: &mut dyn Read,
     out: &mut dyn Write,
 ) -> Result<u64, String> {
+    if matches!(args.stats, StatsMode::Json | StatsMode::Pretty) {
+        return Err("--stats=json/pretty report streaming-engine counters; \
+             --engine dom supports the plain --stats line only"
+            .into());
+    }
+    if args.progress {
+        return Err("--progress is not supported with --engine dom (no streaming pass)".into());
+    }
     let io_err = |e: std::io::Error| e.to_string();
     let doc = inmem::Document::parse(input).map_err(|e| e.to_string())?;
     let ids = inmem::InMemEval::new(&doc).evaluate(query);
@@ -155,7 +381,7 @@ fn run_dom(
         }
         OutputMode::Values => return Err("--values is not supported with --engine dom".into()),
     }
-    if args.stats {
+    if args.stats != StatsMode::Off {
         eprintln!(
             "twigm: dom: {} element(s) materialized, depth {}",
             doc.len(),
@@ -171,6 +397,12 @@ pub fn run_multi(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Resu
     if args.engine != EngineChoice::Auto && args.engine != EngineChoice::Twig {
         return Err("multiple queries run on the TwigM engine only".into());
     }
+    if args.progress {
+        // Tagged results only surface through MultiTwigM::run, which the
+        // traced driver (whose results are untagged ids) cannot drive.
+        return Err("--progress is not supported with multiple queries".into());
+    }
+    let start = Instant::now();
     let mut engine = MultiTwigM::new();
     if args.filter {
         engine = engine.filter_mode();
@@ -196,7 +428,17 @@ pub fn run_multi(args: &Args, input: &mut dyn Read, out: &mut dyn Write) -> Resu
             }
         }
     }
-    print_stats(args, engine.stats());
+    report_stats(
+        args,
+        "multi",
+        engine.stats(),
+        StreamEngine::machine_size(&engine),
+        &RunMeta {
+            telemetry: None,
+            duration: start.elapsed(),
+            time_to_first_result: None,
+        },
+    );
     Ok(count)
 }
 
@@ -204,19 +446,47 @@ fn parse_query(text: &str) -> Result<Path, String> {
     twigm_xpath::parse(text).map_err(|e| e.to_string())
 }
 
-fn print_stats(args: &Args, stats: &EngineStats) {
-    if args.stats {
-        eprintln!(
-            "twigm: {} events, {} pushes, {} pops, {} probes, peak {} entries, \
-             {} candidate merges, {} result(s)",
-            stats.events(),
-            stats.pushes,
-            stats.pops,
-            stats.qualification_probes + stats.upload_probes,
-            stats.peak_entries,
-            stats.candidates_merged,
-            stats.results
-        );
+/// Emits the stats in the selected mode on stderr. `Text` keeps the
+/// historic one-line format; `Json`/`Pretty` render a [`StatsReport`]
+/// with throughput and latency from the traced driver.
+fn report_stats(
+    args: &Args,
+    engine: &str,
+    stats: &EngineStats,
+    machine_size: Option<usize>,
+    meta: &RunMeta,
+) {
+    match args.stats {
+        StatsMode::Off => {}
+        StatsMode::Text => {
+            eprintln!(
+                "twigm: {} events, {} pushes, {} pops, {} probes, peak {} entries, \
+                 {} candidate merges, {} result(s)",
+                stats.events(),
+                stats.pushes,
+                stats.pops,
+                stats.qualification_probes + stats.upload_probes,
+                stats.peak_entries,
+                stats.candidates_merged,
+                stats.results
+            );
+        }
+        StatsMode::Json | StatsMode::Pretty => {
+            let report = StatsReport {
+                engine: engine.to_string(),
+                stats: stats.clone(),
+                telemetry: meta.telemetry.clone(),
+                machine_size,
+                duration: meta.duration,
+                time_to_first_result: meta.time_to_first_result,
+                metrics: None,
+            };
+            if args.stats == StatsMode::Json {
+                eprintln!("{}", report.to_json());
+            } else {
+                eprint!("{}", report.to_pretty());
+            }
+        }
     }
 }
 
@@ -277,6 +547,49 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_does_not_change_output() {
+        // The traced driver must produce the same results as the plain
+        // one for every output mode.
+        let xml = r#"<r><a k="1"><b>x</b></a><a k="2"/></r>"#;
+        for mode in [&["-c", "//a[b]"][..], &["--fragments", "//a[b]"][..]] {
+            let plain = run(mode, xml);
+            let mut with_stats = vec!["--stats=json"];
+            with_stats.extend_from_slice(mode);
+            assert_eq!(run(&with_stats, xml), plain, "{mode:?}");
+        }
+        let plain = run(&["--values", "//a/@k"], xml);
+        assert_eq!(run(&["--stats=pretty", "--values", "//a/@k"], xml), plain);
+    }
+
+    #[test]
+    fn union_goes_through_the_stats_path() {
+        let (out, count) = run(&["--stats=json", "//a | //b[c]"], "<r><a/><b><c/></b></r>");
+        assert_eq!(out, "1\n2\n");
+        assert_eq!(count, 2);
+        let (out, _) = run(&["-c", "//a | //a"], "<r><a/><a/></r>");
+        assert_eq!(out, "2\n", "overlapping branches deduplicate");
+    }
+
+    #[test]
+    fn traced_run_writes_the_requested_format() {
+        let dir = std::env::temp_dir().join(format!("twigm-run-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("t.json");
+        let jsonl = dir.join("t.jsonl");
+        let xml = "<r><a><b/></a></r>";
+        let (out, _) = run(&["--trace", chrome.to_str().unwrap(), "-c", "//a[b]"], xml);
+        assert_eq!(out, "1\n");
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome_text.starts_with(r#"{"traceEvents":["#));
+        let (out, _) = run(&["--trace", jsonl.to_str().unwrap(), "//a[b]"], xml);
+        assert_eq!(out, "1\n", "the matching <a> is node 1");
+        let jsonl_text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(jsonl_text.lines().count() > 4);
+        assert!(jsonl_text.contains(r#""kind":"result""#));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn engine_restrictions_are_enforced() {
         let args = Args::parse(["--engine", "dfa", "//a[b]"].iter().map(|s| s.to_string()))
             .unwrap()
@@ -285,6 +598,33 @@ mod tests {
         let mut out = Vec::new();
         let err = run_single(&args, &mut input, &mut out).unwrap_err();
         assert!(err.contains("predicate-free"));
+    }
+
+    #[test]
+    fn trace_rejects_unions_and_dom_rejects_rich_stats() {
+        let args = Args::parse(
+            ["--trace", "/tmp/t.json", "//a | //b"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap()
+        .unwrap();
+        let mut input = &b"<r/>"[..];
+        let mut out = Vec::new();
+        let err = run_single(&args, &mut input, &mut out).unwrap_err();
+        assert!(err.contains("union"), "{err}");
+
+        let args = Args::parse(
+            ["--stats=json", "--engine", "dom", "//a"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap()
+        .unwrap();
+        let mut input = &b"<r/>"[..];
+        let mut out = Vec::new();
+        let err = run_single(&args, &mut input, &mut out).unwrap_err();
+        assert!(err.contains("dom"), "{err}");
     }
 
     #[test]

@@ -161,6 +161,119 @@ fn filter_mode_reports_matching_queries_once() {
     assert_eq!(lines, vec!["Q0", "Q1"]);
 }
 
+/// A Figure-2-style query (descendant axes + predicate over recursive
+/// data) driven end-to-end with every observability flag at once.
+#[test]
+fn observability_flags_on_a_figure_2_query() {
+    let dir = std::env::temp_dir().join(format!("twigm-obs-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let xml = b"<r><a><a><b/><c/></a><c/></a><a/></r>";
+    let (out, err, code) = run_with_stdin(
+        &[
+            "--stats=json",
+            "--progress",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "-c",
+            "//a[b]//c",
+        ],
+        xml,
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "1\n", "only the inner <a> has a <b> child");
+    // One twigm-stats-v1 object on stderr with the telemetry fields.
+    let json_line = err
+        .lines()
+        .find(|l| l.contains("twigm-stats-v1"))
+        .unwrap_or_else(|| panic!("no stats json on stderr: {err}"));
+    for needle in [
+        r#""engine":"twig""#,
+        r#""bytes":37"#,
+        r#""max_depth":4"#,
+        r#""qr_bound""#,
+        r#""first_result_event""#,
+        r#""results":1"#,
+    ] {
+        assert!(
+            json_line.contains(needle),
+            "missing {needle} in {json_line}"
+        );
+    }
+    // The Chrome trace landed on disk with balanced spans.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with(r#"{"traceEvents":["#));
+    assert_eq!(
+        trace.matches(r#""ph":"B""#).count(),
+        trace.matches(r#""ph":"E""#).count()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_pretty_reports_the_memory_bound() {
+    let (out, err, code) = run_with_stdin(
+        &["--stats=pretty", "-c", "//a[b]//c"],
+        b"<r><a><b/><c/></a></r>",
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "1\n");
+    assert!(err.contains("peak entries"), "{err}");
+    assert!(err.contains("|Q|"), "{err}");
+    assert!(err.contains("events/s"), "{err}");
+}
+
+#[test]
+fn progress_heartbeats_appear_for_large_inputs() {
+    // ~30k events: enough to cross several 4096-event heartbeats.
+    let mut xml = String::from("<r>");
+    for _ in 0..5000 {
+        xml.push_str("<a><b/></a>");
+    }
+    xml.push_str("</r>");
+    let (out, err, code) = run_with_stdin(&["--progress", "-c", "//a[b]"], xml.as_bytes());
+    assert_eq!(code, 0);
+    assert_eq!(out, "5000\n");
+    let heartbeats = err
+        .lines()
+        .filter(|l| l.starts_with("twigm: progress:"))
+        .count();
+    assert!(heartbeats >= 2, "expected several heartbeats: {err}");
+    assert!(err.contains("events/s"), "{err}");
+}
+
+/// Satellite check: union queries report stats instead of silently
+/// dropping them (they used to bypass the streaming stats path).
+#[test]
+fn union_queries_report_stats() {
+    let xml = b"<r><a/><b><c/></b></r>";
+    let (out, err, code) = run_with_stdin(&["--stats", "-c", "//a | //b[c]"], xml);
+    assert_eq!(code, 0);
+    assert_eq!(out, "2\n");
+    assert!(err.contains("events"), "union --stats was dropped: {err}");
+    assert!(err.contains("result(s)"), "{err}");
+    let (_, err, _) = run_with_stdin(&["--stats=json", "//a | //b[c]"], xml);
+    assert!(err.contains(r#""engine":"multi""#), "{err}");
+}
+
+#[test]
+fn trace_jsonl_from_stdin() {
+    let dir = std::env::temp_dir().join(format!("twigm-jsonl-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let (out, _, code) = run_with_stdin(
+        &["--trace", path.to_str().unwrap(), "//a/b"],
+        b"<r><a><b/></a></r>",
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "2\n");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(text.contains(r#""kind":"push""#), "{text}");
+    assert!(text.contains(r#""tag":"a""#), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn filter_mode_applies_to_a_single_query_too() {
     let xml = b"<r><a/><a/><a/></r>";

@@ -14,6 +14,7 @@ use twigm_xpath::Path;
 
 use crate::engine::StreamEngine;
 use crate::machine::{MNode, Machine, MachineError};
+use crate::observe::{MachineObserver, NoopObserver};
 use crate::query::QCond;
 use crate::stats::EngineStats;
 
@@ -26,7 +27,10 @@ struct State {
 }
 
 /// The BranchM streaming engine.
-pub struct BranchM {
+///
+/// Generic over a [`MachineObserver`]; the default [`NoopObserver`]
+/// compiles every hook away.
+pub struct BranchM<O: MachineObserver = NoopObserver> {
     machine: Machine,
     /// Per machine node: the single active match, if any.
     states: Vec<Option<State>>,
@@ -35,11 +39,19 @@ pub struct BranchM {
     stats: EngineStats,
     live_entries: u64,
     live_candidates: u64,
+    observer: O,
 }
 
 impl BranchM {
     /// Compiles an `XP{/,[]}` query.
     pub fn new(query: &Path) -> Result<Self, MachineError> {
+        Self::with_observer(query, NoopObserver)
+    }
+}
+
+impl<O: MachineObserver> BranchM<O> {
+    /// Compiles an `XP{/,[]}` query with an attached observer.
+    pub fn with_observer(query: &Path, observer: O) -> Result<Self, MachineError> {
         debug_assert!(
             query.is_branch_only(),
             "BranchM evaluates XP{{/,[]}}; use TwigM for `//` or `*`"
@@ -54,12 +66,28 @@ impl BranchM {
             stats: EngineStats::default(),
             live_entries: 0,
             live_candidates: 0,
+            observer,
         })
     }
 
     /// The compiled machine.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the engine, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     fn initial_slots(node: &MNode, attrs: &[Attribute<'_>]) -> u64 {
@@ -83,13 +111,16 @@ impl BranchM {
     }
 }
 
-impl BranchM {
+impl<O: MachineObserver> BranchM<O> {
     /// δs, dispatching on an interned symbol. (`XP{/,[]}` has no
     /// wildcards, so the wildcard list is empty and dispatch is just the
     /// dense per-symbol node list.)
     fn start_sym(&mut self, sym: Symbol, attrs: &[Attribute<'_>], level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         self.depth = level;
+        if O::ENABLED {
+            self.observer.on_start_element(sym, level, id);
+        }
         let mut became_candidate = false;
         let n_tag = self.machine.tag_nodes(sym).len();
         let n_wild = self.machine.wildcards().len();
@@ -129,9 +160,15 @@ impl BranchM {
             });
             self.stats.pushes += 1;
             self.live_entries += 1;
+            if O::ENABLED {
+                self.observer.on_push(v as u32, level, node.is_sol);
+            }
         }
         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+        }
         became_candidate
     }
 
@@ -139,6 +176,9 @@ impl BranchM {
     fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
+        if O::ENABLED {
+            self.observer.on_end_element(sym, level);
+        }
         let n_tag = self.machine.tag_nodes(sym).len();
         let n_wild = self.machine.wildcards().len();
         for i in 0..n_tag + n_wild {
@@ -171,7 +211,11 @@ impl BranchM {
                     state.slots |= 1 << i;
                 }
             }
-            if !node.formula.eval(state.slots) {
+            let satisfied = node.formula.eval(state.slots);
+            if O::ENABLED {
+                self.observer.on_pop(v as u32, level, satisfied);
+            }
+            if !satisfied {
                 continue;
             }
             match node.parent {
@@ -179,6 +223,9 @@ impl BranchM {
                     for id in state.candidates {
                         self.results.push(NodeId::new(id));
                         self.stats.results += 1;
+                        if O::ENABLED {
+                            self.observer.on_result(NodeId::new(id));
+                        }
                     }
                 }
                 Some(p) => {
@@ -187,6 +234,13 @@ impl BranchM {
                         parent.slots |= 1 << node.parent_slot.expect("non-root has a slot");
                         self.live_candidates += state.candidates.len() as u64;
                         self.stats.candidates_merged += state.candidates.len() as u64;
+                        if O::ENABLED {
+                            self.observer.on_upload(
+                                v as u32,
+                                p as u32,
+                                state.candidates.len() as u64,
+                            );
+                        }
                         // The spine is a chain in XP{/,[]}, so the same id
                         // can never arrive twice: plain append keeps the
                         // set sorted and duplicate-free.
@@ -196,10 +250,16 @@ impl BranchM {
             }
         }
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+            if level == 1 {
+                self.observer.on_document_end();
+            }
+        }
     }
 }
 
-impl StreamEngine for BranchM {
+impl<O: MachineObserver> StreamEngine for BranchM<O> {
     fn start_element(
         &mut self,
         tag: &str,

@@ -7,7 +7,8 @@ use twigm_sax::{Attribute, NodeId, SaxError, SaxHandler, SaxReader, Symbol, Symb
 use twigm_xpath::Path;
 
 use crate::branch::BranchM;
-use crate::machine::MachineError;
+use crate::machine::{Machine, MachineError};
+use crate::observe::{MachineObserver, NoopObserver};
 use crate::path::PathM;
 use crate::stats::EngineStats;
 use crate::twig::TwigM;
@@ -242,24 +243,35 @@ impl From<MachineError> for EvalError {
 /// An engine that picks the cheapest machine for the query (paper §3):
 /// [`PathM`] for `XP{/,//,*}`, [`BranchM`] for `XP{/,[]}`, and [`TwigM`]
 /// for the full language.
-pub enum Engine {
+///
+/// Generic over a [`MachineObserver`] like the machines themselves; the
+/// default [`NoopObserver`] keeps `Engine` the plain unobserved driver.
+pub enum Engine<O: MachineObserver = NoopObserver> {
     /// Predicate-free query.
-    Path(PathM),
+    Path(PathM<O>),
     /// Child-axis-only query with predicates.
-    Branch(BranchM),
+    Branch(BranchM<O>),
     /// The general machine.
-    Twig(TwigM),
+    Twig(TwigM<O>),
 }
 
 impl Engine {
     /// Compiles `query`, selecting the machine by the query's class.
     pub fn new(query: &Path) -> Result<Engine, MachineError> {
+        Engine::with_observer(query, NoopObserver)
+    }
+}
+
+impl<O: MachineObserver> Engine<O> {
+    /// Compiles `query` with an attached observer, selecting the machine
+    /// by the query's class.
+    pub fn with_observer(query: &Path, observer: O) -> Result<Engine<O>, MachineError> {
         if query.is_predicate_free() {
-            Ok(Engine::Path(PathM::new(query)?))
+            Ok(Engine::Path(PathM::with_observer(query, observer)?))
         } else if query.is_branch_only() {
-            Ok(Engine::Branch(BranchM::new(query)?))
+            Ok(Engine::Branch(BranchM::with_observer(query, observer)?))
         } else {
-            Ok(Engine::Twig(TwigM::new(query)?))
+            Ok(Engine::Twig(TwigM::with_observer(query, observer)?))
         }
     }
 
@@ -271,9 +283,36 @@ impl Engine {
             Engine::Twig(_) => "TwigM",
         }
     }
+
+    /// The compiled machine (e.g. to label observer node ids).
+    pub fn machine(&self) -> &Machine {
+        match self {
+            Engine::Path(e) => e.machine(),
+            Engine::Branch(e) => e.machine(),
+            Engine::Twig(e) => e.machine(),
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        match self {
+            Engine::Path(e) => e.observer(),
+            Engine::Branch(e) => e.observer(),
+            Engine::Twig(e) => e.observer(),
+        }
+    }
+
+    /// Consumes the engine, returning the observer.
+    pub fn into_observer(self) -> O {
+        match self {
+            Engine::Path(e) => e.into_observer(),
+            Engine::Branch(e) => e.into_observer(),
+            Engine::Twig(e) => e.into_observer(),
+        }
+    }
 }
 
-impl StreamEngine for Engine {
+impl<O: MachineObserver> StreamEngine for Engine<O> {
     fn start_element(
         &mut self,
         tag: &str,
@@ -450,6 +489,102 @@ pub fn run_engine<E: StreamEngine, R: Read>(
     Ok((results, engine))
 }
 
+/// Driver-level byte/event accounting from [`run_engine_traced`].
+///
+/// These are the stream-side quantities the engine counters cannot see:
+/// how many bytes and SAX events the reader produced, how deep the
+/// document recursed (the `R` of Theorem 4.4's `|Q|·R` memory bound),
+/// and when the first result was decided — the latency metric of the
+/// earliest-answering literature (PAPERS.md).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamTelemetry {
+    /// Bytes consumed from the input stream.
+    pub bytes: u64,
+    /// SAX events the reader emitted (tags, text, comments, PIs).
+    pub events: u64,
+    /// Deepest element nesting seen — the recursion depth `R`.
+    pub max_depth: u32,
+    /// Event count at which the first result was decided.
+    pub first_result_event: Option<u64>,
+    /// Bytes consumed when the first result was decided.
+    pub first_result_byte: Option<u64>,
+}
+
+/// A progress sample handed to [`run_engine_traced`]'s callback.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamProgress {
+    /// Bytes consumed so far.
+    pub bytes: u64,
+    /// SAX events processed so far.
+    pub events: u64,
+    /// Results decided so far.
+    pub results: u64,
+}
+
+/// Like [`run_engine`], but additionally accounts for bytes, events,
+/// recursion depth and time-to-first-result. Result arrival is detected
+/// through the engine's `stats().results` counter (every engine bumps it
+/// at the emitting transition), so the per-event cost over [`run_engine`]
+/// is a couple of counter reads; results are drained once at the end.
+/// When `progress_every` is non-zero, `progress` is invoked after every
+/// `progress_every` events — e.g. for stderr throughput reporting.
+pub fn run_engine_traced<E: StreamEngine, R: Read>(
+    mut engine: E,
+    src: R,
+    progress_every: u64,
+    mut progress: impl FnMut(&StreamProgress),
+) -> Result<(Vec<NodeId>, E, StreamTelemetry), SaxError> {
+    let table = engine.symbols().cloned();
+    let mut reader = SaxReader::new(src);
+    let mut telemetry = StreamTelemetry::default();
+    while let Some(event) = reader.next_event()? {
+        match event {
+            twigm_sax::Event::Start(tag) => {
+                telemetry.max_depth = telemetry.max_depth.max(tag.level());
+                let sym = match &table {
+                    Some(t) => t.lookup(tag.name()),
+                    None => Symbol::UNKNOWN,
+                };
+                let mut attrs: Vec<Attribute<'_>> = Vec::new();
+                if table.is_none() || engine.needs_attributes(sym) {
+                    for a in tag.attributes() {
+                        attrs.push(a?);
+                    }
+                }
+                if table.is_some() {
+                    engine.start_element_sym(sym, tag.name(), &attrs, tag.level(), tag.id());
+                } else {
+                    engine.start_element(tag.name(), &attrs, tag.level(), tag.id());
+                }
+            }
+            twigm_sax::Event::End(tag) => match &table {
+                Some(t) => engine.end_element_sym(t.lookup(tag.name()), tag.name(), tag.level()),
+                None => engine.end_element(tag.name(), tag.level()),
+            },
+            twigm_sax::Event::Text(t) => engine.text(&t),
+            _ => {}
+        }
+        // The event borrow has ended; the reader's offset is now the
+        // position just past the event that was processed.
+        telemetry.events += 1;
+        if telemetry.first_result_event.is_none() && engine.stats().results > 0 {
+            telemetry.first_result_event = Some(telemetry.events);
+            telemetry.first_result_byte = Some(reader.offset());
+        }
+        if progress_every != 0 && telemetry.events % progress_every == 0 {
+            progress(&StreamProgress {
+                bytes: reader.offset(),
+                events: telemetry.events,
+                results: engine.stats().results,
+            });
+        }
+    }
+    telemetry.bytes = reader.offset();
+    debug_assert_eq!(telemetry.events, reader.events_emitted());
+    let results = engine.take_results();
+    Ok((results, engine, telemetry))
+}
+
 /// One-call evaluation: compiles `query`, streams `src` through the
 /// best-fitting machine, and returns the matched node ids in decision
 /// order.
@@ -533,6 +668,64 @@ mod tests {
     fn eval_error_display() {
         let e = EvalError::Sax(SaxError::UnexpectedEof { open_element: None });
         assert!(e.to_string().contains("XML error"));
+    }
+
+    #[test]
+    fn traced_run_accounts_bytes_events_and_first_result() {
+        let xml = b"<r><a><b/></a><a/></r>" as &[u8];
+        let engine = Engine::new(&parse("//a/b").unwrap()).unwrap();
+        let (ids, _, telemetry) = run_engine_traced(engine, xml, 0, |_| {}).unwrap();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(telemetry.bytes, xml.len() as u64);
+        // <r><a><b></b></a><a></a></r> = 8 events.
+        assert_eq!(telemetry.events, 8);
+        assert_eq!(telemetry.max_depth, 3);
+        // PathM emits b on its start tag: the 3rd event.
+        assert_eq!(telemetry.first_result_event, Some(3));
+        assert!(telemetry.first_result_byte.unwrap() <= telemetry.bytes);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let xml = b"<r><a><b/></a><a><b/><b/></a></r>" as &[u8];
+        let q = parse("//a[b]").unwrap();
+        let (plain, _) = run_engine(Engine::new(&q).unwrap(), xml).unwrap();
+        let (traced, _, _) = run_engine_traced(Engine::new(&q).unwrap(), xml, 0, |_| {}).unwrap();
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn traced_run_reports_progress_at_the_requested_cadence() {
+        let xml = b"<r><a/><a/><a/><a/><a/></r>" as &[u8];
+        let mut samples = Vec::new();
+        let engine = Engine::new(&parse("//a").unwrap()).unwrap();
+        let (_, _, telemetry) = run_engine_traced(engine, xml, 4, |p| {
+            samples.push((p.events, p.results));
+        })
+        .unwrap();
+        // 12 events => samples at 4, 8, 12.
+        assert_eq!(telemetry.events, 12);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].0, 4);
+        assert!(samples.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn traced_run_drives_the_multi_engine_for_unions() {
+        let xml = b"<r><a/><b><c/></b><b/></r>" as &[u8];
+        let branches = twigm_xpath::parse_union("//a | //b[c]").unwrap();
+        let mut engine = crate::multi::MultiTwigM::new();
+        for b in &branches {
+            engine.add_query(b).unwrap();
+        }
+        let (ids, engine, telemetry) = run_engine_traced(engine, xml, 0, |_| {}).unwrap();
+        let mut got: Vec<u64> = ids.iter().map(|id| id.get()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(telemetry.bytes, xml.len() as u64);
+        // |Q| summed over branches: //a has 1 node, //b[c] has 2.
+        assert_eq!(StreamEngine::machine_size(&engine), Some(3));
     }
 }
 

@@ -66,15 +66,20 @@ pub mod fragments;
 pub mod fxhash;
 pub mod machine;
 pub mod multi;
+pub mod observe;
 pub mod path;
 pub mod query;
 pub mod stats;
 pub mod twig;
 
 pub use branch::BranchM;
-pub use engine::{evaluate, evaluate_ordered, evaluate_union, Engine, StreamEngine};
+pub use engine::{
+    evaluate, evaluate_ordered, evaluate_union, run_engine, run_engine_traced, Engine,
+    StreamEngine, StreamProgress, StreamTelemetry,
+};
 pub use machine::{Machine, MachineError};
 pub use multi::MultiTwigM;
+pub use observe::{MachineObserver, NoopObserver};
 pub use path::PathM;
 pub use query::QueryTree;
 pub use stats::EngineStats;

@@ -16,10 +16,27 @@
 use twigm_sax::{Attribute, NodeId, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
+use crate::engine::StreamEngine;
 use crate::fxhash::FxHashSet;
 use crate::machine::{MNode, Machine, MachineError};
+use crate::observe::{MachineObserver, NoopObserver};
 use crate::query::QCond;
 use crate::stats::EngineStats;
+
+/// Encodes a `(query, machine node)` pair into the single `u32` the
+/// [`MachineObserver`] hooks carry: `query << 20 | node`. Machines stay
+/// far below 2²⁰ nodes, so the encoding is lossless for any realistic
+/// query set.
+pub fn encode_obs_node(qid: QueryId, v: usize) -> u32 {
+    debug_assert!(v < (1 << 20), "machine node index exceeds encoding");
+    ((qid as u32) << 20) | (v as u32)
+}
+
+/// Splits an observer node id produced by [`encode_obs_node`] back into
+/// its `(query, machine node)` pair.
+pub fn decode_obs_node(enc: u32) -> (QueryId, usize) {
+    ((enc >> 20) as QueryId, (enc & 0xF_FFFF) as usize)
+}
 
 /// A stack entry, as in [`crate::TwigM`].
 #[derive(Debug, Clone)]
@@ -68,7 +85,7 @@ struct QueryState {
 /// assert!(results.iter().any(|r| r.query == alerts));
 /// assert!(results.iter().any(|r| r.query == audits));
 /// ```
-pub struct MultiTwigM {
+pub struct MultiTwigM<O: MachineObserver = NoopObserver> {
     queries: Vec<QueryState>,
     /// The symbol space shared by every registered machine.
     table: SymbolTable,
@@ -93,11 +110,20 @@ pub struct MultiTwigM {
     filter_mode: bool,
     /// Per query: already matched within the current document.
     matched: Vec<bool>,
+    observer: O,
 }
 
 impl MultiTwigM {
     /// Creates an engine with no queries.
     pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+}
+
+impl<O: MachineObserver> MultiTwigM<O> {
+    /// Creates an engine with no queries and an attached observer. Hook
+    /// node ids are `(query, node)` pairs packed by [`encode_obs_node`].
+    pub fn with_observer(observer: O) -> Self {
         MultiTwigM {
             queries: Vec::new(),
             table: SymbolTable::new(),
@@ -112,7 +138,18 @@ impl MultiTwigM {
             live_entries: 0,
             filter_mode: false,
             matched: Vec::new(),
+            observer,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consumes the engine, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// Switches the engine into *filtering* mode: each query reports at
@@ -289,6 +326,9 @@ impl MultiTwigM {
     ) {
         self.stats.start_events += 1;
         self.depth = level;
+        if O::ENABLED {
+            self.observer.on_start_element(sym, level, id);
+        }
         // Reset child sibling scopes for positional predicates (the
         // pos_nodes index is empty for non-positional queries, keeping
         // this free on the common path).
@@ -357,8 +397,15 @@ impl MultiTwigM {
             });
             self.stats.pushes += 1;
             self.live_entries += 1;
+            if O::ENABLED {
+                self.observer
+                    .on_push(encode_obs_node(qid, v), level, node.is_sol);
+            }
         }
         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+        }
     }
 
     /// Character data, routed through the shared text index.
@@ -383,6 +430,9 @@ impl MultiTwigM {
     pub fn end_element_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
+        if O::ENABLED {
+            self.observer.on_end_element(sym, level);
+        }
         for (qid, v) in Self::dispatch(&self.by_sym, &self.wildcards, sym) {
             if self.filter_mode && self.matched[qid] {
                 // A matched filter query still needs its stacks unwound so
@@ -393,6 +443,10 @@ impl MultiTwigM {
                     state.stacks[v].pop();
                     self.live_entries -= 1;
                     self.stats.pops += 1;
+                    if O::ENABLED {
+                        // Discarded unevaluated: report as unsatisfied.
+                        self.observer.on_pop(encode_obs_node(qid, v), level, false);
+                    }
                 }
                 continue;
             }
@@ -425,7 +479,12 @@ impl MultiTwigM {
                     entry.slots |= 1 << cond;
                 }
             }
-            if !node.formula.eval(entry.slots) {
+            let satisfied = node.formula.eval(entry.slots);
+            if O::ENABLED {
+                self.observer
+                    .on_pop(encode_obs_node(qid, v), level, satisfied);
+            }
+            if !satisfied {
                 continue;
             }
             match node.parent {
@@ -439,6 +498,9 @@ impl MultiTwigM {
                                     node: NodeId::new(id),
                                 });
                                 self.stats.results += 1;
+                                if O::ENABLED {
+                                    self.observer.on_result(NodeId::new(id));
+                                }
                             }
                         } else if state.emitted.insert(id) {
                             self.results.push(TaggedResult {
@@ -446,6 +508,9 @@ impl MultiTwigM {
                                 node: NodeId::new(id),
                             });
                             self.stats.results += 1;
+                            if O::ENABLED {
+                                self.observer.on_result(NodeId::new(id));
+                            }
                         }
                     }
                 }
@@ -463,15 +528,27 @@ impl MultiTwigM {
                             Some(ci) => e.counts[ci] += 1,
                             None => e.slots |= slot_bit,
                         }
+                        let mut inserted = 0u64;
                         for &cand in &entry.candidates {
                             if !emitted.contains(&cand) && !e.candidates.contains(&cand) {
                                 e.candidates.push(cand);
                                 self.stats.candidates_merged += 1;
+                                inserted += 1;
                             }
+                        }
+                        if O::ENABLED {
+                            self.observer.on_upload(
+                                encode_obs_node(qid, v),
+                                encode_obs_node(qid, p),
+                                inserted,
+                            );
                         }
                     }
                 }
             }
+        }
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
         }
         if level == 1 {
             for state in &mut self.queries {
@@ -479,6 +556,9 @@ impl MultiTwigM {
                 state.emitted.clear();
             }
             self.matched.iter_mut().for_each(|m| *m = false);
+            if O::ENABLED {
+                self.observer.on_document_end();
+            }
         }
     }
 }
@@ -486,6 +566,73 @@ impl MultiTwigM {
 impl Default for MultiTwigM {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Lets the multi-query engine ride the generic drivers
+/// ([`crate::engine::run_engine`] and the traced variant), e.g. for
+/// *union* queries where per-query tags are irrelevant.
+///
+/// [`StreamEngine::take_results`] flattens the pending
+/// [`TaggedResult`]s to bare node ids in decision order — the same id
+/// can appear once per matching query, so union-semantics callers
+/// dedup afterwards. Use [`MultiTwigM::take_tagged_results`] directly
+/// when the tags matter.
+impl<O: MachineObserver> StreamEngine for MultiTwigM<O> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        // Method-call syntax resolves to the inherent method.
+        MultiTwigM::start_element(self, tag, attrs, level, id);
+        false
+    }
+
+    fn start_element_sym(
+        &mut self,
+        sym: Symbol,
+        _tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        MultiTwigM::start_element_sym(self, sym, attrs, level, id);
+        false
+    }
+
+    fn text(&mut self, text: &str) {
+        MultiTwigM::text(self, text);
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        MultiTwigM::end_element(self, tag, level);
+    }
+
+    fn end_element_sym(&mut self, sym: Symbol, _tag: &str, level: u32) {
+        MultiTwigM::end_element_sym(self, sym, level);
+    }
+
+    fn symbols(&self) -> Option<&SymbolTable> {
+        Some(&self.table)
+    }
+
+    fn needs_attributes(&self, sym: Symbol) -> bool {
+        MultiTwigM::needs_attributes(self, sym)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        self.results.drain(..).map(|r| r.node).collect()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn machine_size(&self) -> Option<usize> {
+        Some(self.queries.iter().map(|q| q.machine.len()).sum())
     }
 }
 

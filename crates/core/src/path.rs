@@ -12,16 +12,21 @@ use twigm_xpath::Path;
 
 use crate::engine::StreamEngine;
 use crate::machine::{Machine, MachineError};
+use crate::observe::{MachineObserver, NoopObserver};
 use crate::stats::EngineStats;
 
 /// The PathM streaming engine.
-pub struct PathM {
+///
+/// Generic over a [`MachineObserver`]; the default [`NoopObserver`]
+/// compiles every hook away.
+pub struct PathM<O: MachineObserver = NoopObserver> {
     machine: Machine,
     /// Per machine node: the stack of levels of active matches.
     stacks: Vec<Vec<u32>>,
     results: Vec<NodeId>,
     stats: EngineStats,
     live_entries: u64,
+    observer: O,
 }
 
 impl PathM {
@@ -34,6 +39,14 @@ impl PathM {
     /// [`crate::Engine::new`] should be used instead of constructing
     /// PathM directly for untrusted queries.
     pub fn new(query: &Path) -> Result<Self, MachineError> {
+        Self::with_observer(query, NoopObserver)
+    }
+}
+
+impl<O: MachineObserver> PathM<O> {
+    /// Compiles a predicate-free query with an attached observer; see
+    /// [`PathM::new`] for the class restriction.
+    pub fn with_observer(query: &Path, observer: O) -> Result<Self, MachineError> {
         debug_assert!(
             query.is_predicate_free(),
             "PathM evaluates XP{{/,//,*}}; use TwigM for predicates"
@@ -46,6 +59,7 @@ impl PathM {
             results: Vec::new(),
             stats: EngineStats::default(),
             live_entries: 0,
+            observer,
         })
     }
 
@@ -53,13 +67,31 @@ impl PathM {
     pub fn machine(&self) -> &Machine {
         &self.machine
     }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the engine, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
 }
 
-impl PathM {
+impl<O: MachineObserver> PathM<O> {
     /// δs, dispatching on an interned symbol (dense tables, no per-node
     /// string compares).
     fn start_sym(&mut self, sym: Symbol, level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
+        if O::ENABLED {
+            self.observer.on_start_element(sym, level, id);
+        }
         let mut matched_sol = false;
         let n_tag = self.machine.tag_nodes(sym).len();
         let n_wild = self.machine.wildcards().len();
@@ -93,20 +125,32 @@ impl PathM {
             self.stacks[v].push(level);
             self.stats.pushes += 1;
             self.live_entries += 1;
+            if O::ENABLED {
+                self.observer.on_push(v as u32, level, node.is_sol);
+            }
             if node.is_sol {
                 // No predicates can fail later: emit immediately.
                 self.results.push(id);
                 self.stats.results += 1;
+                if O::ENABLED {
+                    self.observer.on_result(id);
+                }
                 matched_sol = true;
             }
         }
         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+        }
         matched_sol
     }
 
     /// δe, dispatching on an interned symbol.
     fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
+        if O::ENABLED {
+            self.observer.on_end_element(sym, level);
+        }
         let n_tag = self.machine.tag_nodes(sym).len();
         let n_wild = self.machine.wildcards().len();
         for i in 0..n_tag + n_wild {
@@ -119,12 +163,23 @@ impl PathM {
                 self.stacks[v].pop();
                 self.stats.pops += 1;
                 self.live_entries -= 1;
+                if O::ENABLED {
+                    // Predicate-free machines have no formula to fail:
+                    // every pop is a satisfied pop.
+                    self.observer.on_pop(v as u32, level, true);
+                }
+            }
+        }
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+            if level == 1 {
+                self.observer.on_document_end();
             }
         }
     }
 }
 
-impl StreamEngine for PathM {
+impl<O: MachineObserver> StreamEngine for PathM<O> {
     fn start_element(
         &mut self,
         tag: &str,

@@ -53,6 +53,22 @@ impl EngineStats {
 
     /// Folds another stats record into this one (used when several
     /// documents are processed by one logical run).
+    ///
+    /// # Semantics
+    ///
+    /// Counters (`start_events`, `end_events`, `qualification_probes`,
+    /// `pushes`, `pops`, `upload_probes`, `candidates_merged`,
+    /// `results`, `tuples_materialized`) **sum**: they count work, and
+    /// work accumulates across documents. The `peak_*` fields take the
+    /// **max**: they measure high-water memory, and live entries drain
+    /// to zero between documents, so the peak over a sequence of
+    /// documents is the largest per-document peak — this is what keeps
+    /// Theorem 4.4's `peak_entries ≤ |Q|·R` bound meaningful for a
+    /// merged record (`R` being the deepest document's recursion).
+    /// Consequently an engine reused across `n` documents reports the
+    /// same stats as merging `n` single-document runs; the
+    /// multi-document tests below pin this down against
+    /// [`crate::MultiTwigM`].
     pub fn merge(&mut self, other: &EngineStats) {
         self.start_events += other.start_events;
         self.end_events += other.end_events;
@@ -99,5 +115,109 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.start_events, 3);
         assert_eq!(a.peak_entries, 10);
+    }
+
+    #[test]
+    fn merge_sums_every_counter_and_maxes_every_peak() {
+        // Exhaustive field-by-field check so a future field added to
+        // EngineStats without a merge rule fails loudly here.
+        let a = EngineStats {
+            start_events: 1,
+            end_events: 2,
+            qualification_probes: 3,
+            pushes: 4,
+            pops: 5,
+            upload_probes: 6,
+            candidates_merged: 7,
+            peak_entries: 8,
+            peak_candidates: 9,
+            results: 10,
+            tuples_materialized: 11,
+        };
+        let b = EngineStats {
+            start_events: 100,
+            end_events: 100,
+            qualification_probes: 100,
+            pushes: 100,
+            pops: 100,
+            upload_probes: 100,
+            candidates_merged: 100,
+            peak_entries: 2,
+            peak_candidates: 100,
+            results: 100,
+            tuples_materialized: 100,
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(
+            m,
+            EngineStats {
+                start_events: 101,
+                end_events: 102,
+                qualification_probes: 103,
+                pushes: 104,
+                pops: 105,
+                upload_probes: 106,
+                candidates_merged: 107,
+                peak_entries: 8,      // max(8, 2)
+                peak_candidates: 100, // max(9, 100)
+                results: 110,
+                tuples_materialized: 111,
+            }
+        );
+        // Merging is commutative on these semantics.
+        let mut n = b.clone();
+        n.merge(&a);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn merge_identity_is_the_default_record() {
+        let a = EngineStats {
+            start_events: 5,
+            peak_entries: 3,
+            results: 2,
+            ..Default::default()
+        };
+        let mut m = a.clone();
+        m.merge(&EngineStats::default());
+        assert_eq!(m, a);
+    }
+
+    /// An engine reused across documents must report exactly the merge
+    /// of per-document runs: counters accumulate, peaks high-water.
+    #[test]
+    fn multi_document_stats_equal_merged_single_document_stats() {
+        use crate::multi::MultiTwigM;
+        use twigm_xpath::parse;
+
+        let queries = ["//a[b]//c", "//a//a"];
+        // Doc 1 recurses deeper (bigger peak); doc 2 does more events.
+        let doc1 = "<a><a><a><b/><c/></a></a></a>";
+        let doc2 = "<a><b/><c/><c/><b/><c/><b/></a>";
+
+        let per_doc = |doc: &str| {
+            let mut engine = MultiTwigM::new();
+            for q in &queries {
+                engine.add_query(&parse(q).unwrap()).unwrap();
+            }
+            engine.run(doc.as_bytes()).unwrap();
+            engine.stats().clone()
+        };
+        let s1 = per_doc(doc1);
+        let s2 = per_doc(doc2);
+        let mut merged = s1.clone();
+        merged.merge(&s2);
+
+        let mut engine = MultiTwigM::new();
+        for q in &queries {
+            engine.add_query(&parse(q).unwrap()).unwrap();
+        }
+        engine.run(doc1.as_bytes()).unwrap();
+        engine.run(doc2.as_bytes()).unwrap();
+        assert_eq!(engine.stats(), &merged);
+        // The deeper document dominates the peak.
+        assert_eq!(merged.peak_entries, s1.peak_entries.max(s2.peak_entries));
+        assert!(s1.peak_entries != s2.peak_entries, "docs should differ");
     }
 }

@@ -36,6 +36,7 @@ use twigm_xpath::Path;
 use crate::engine::StreamEngine;
 use crate::fxhash::FxHashSet;
 use crate::machine::{MNode, Machine, MachineError};
+use crate::observe::{MachineObserver, NoopObserver};
 use crate::query::QCond;
 use crate::stats::EngineStats;
 
@@ -59,7 +60,11 @@ struct Entry {
 }
 
 /// The TwigM streaming engine.
-pub struct TwigM {
+///
+/// The `O` parameter is a [`MachineObserver`] receiving every machine
+/// transition; the default [`NoopObserver`] compiles all hooks away, so
+/// `TwigM` (no parameter) is exactly the unobserved machine.
+pub struct TwigM<O: MachineObserver = NoopObserver> {
     machine: Machine,
     stacks: Vec<Vec<Entry>>,
     /// Level of the innermost open element (for routing text events).
@@ -74,16 +79,32 @@ pub struct TwigM {
     /// Live entry / candidate counts for peak tracking.
     live_entries: u64,
     live_candidates: u64,
+    observer: O,
 }
 
 impl TwigM {
     /// Compiles a query into a TwigM machine.
     pub fn new(query: &Path) -> Result<Self, MachineError> {
-        Ok(Self::from_machine(Machine::from_path(query)?))
+        Self::with_observer(query, NoopObserver)
     }
 
     /// Builds the engine around an existing compiled machine.
     pub fn from_machine(machine: Machine) -> Self {
+        Self::from_machine_with(machine, NoopObserver)
+    }
+}
+
+impl<O: MachineObserver> TwigM<O> {
+    /// Compiles a query into a TwigM machine observed by `observer`.
+    pub fn with_observer(query: &Path, observer: O) -> Result<Self, MachineError> {
+        Ok(Self::from_machine_with(
+            Machine::from_path(query)?,
+            observer,
+        ))
+    }
+
+    /// Builds an observed engine around an existing compiled machine.
+    pub fn from_machine_with(machine: Machine, observer: O) -> Self {
         let stacks = vec![Vec::new(); machine.len()];
         let pos_counts = vec![Vec::new(); machine.len()];
         TwigM {
@@ -96,7 +117,24 @@ impl TwigM {
             stats: EngineStats::default(),
             live_entries: 0,
             live_candidates: 0,
+            observer,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the engine, returning the observer (typically to export
+    /// what it recorded after a run).
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// The compiled machine.
@@ -186,6 +224,9 @@ impl TwigM {
                     if self.emitted.insert(id) {
                         self.results.push(NodeId::new(id));
                         self.stats.results += 1;
+                        if O::ENABLED {
+                            self.observer.on_result(NodeId::new(id));
+                        }
                     }
                 }
                 return;
@@ -294,13 +335,16 @@ impl TwigM {
     }
 }
 
-impl TwigM {
+impl<O: MachineObserver> TwigM<O> {
     /// δs (Algorithm 1), dispatching on an interned symbol: the nodes
     /// tagged `sym` plus the wildcard nodes, via dense table indexing —
     /// no per-node string compare, no allocation for non-matching tags.
     fn start_sym(&mut self, sym: Symbol, attrs: &[Attribute<'_>], level: u32, id: NodeId) -> bool {
         self.stats.start_events += 1;
         self.depth = level;
+        if O::ENABLED {
+            self.observer.on_start_element(sym, level, id);
+        }
         let mut became_candidate = false;
         // This element opens a fresh sibling scope for its children:
         // reset the positional counters keyed by its level.
@@ -383,6 +427,9 @@ impl TwigM {
                 text: String::new(),
                 counts: vec![0; n_counters],
             });
+            if O::ENABLED {
+                self.observer.on_push(v as u32, level, node.is_sol);
+            }
             if eager_sol {
                 self.eager_deliver(v, level, vec![id.get()]);
             }
@@ -391,6 +438,9 @@ impl TwigM {
         }
         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+        }
         became_candidate
     }
 
@@ -398,6 +448,9 @@ impl TwigM {
     fn end_sym(&mut self, sym: Symbol, level: u32) {
         self.stats.end_events += 1;
         self.depth = level.saturating_sub(1);
+        if O::ENABLED {
+            self.observer.on_end_element(sym, level);
+        }
         let n_tag = self.machine.tag_nodes(sym).len();
         let n_wild = self.machine.wildcards().len();
         for i in 0..n_tag + n_wild {
@@ -423,7 +476,11 @@ impl TwigM {
                     entry.slots |= 1 << cond;
                 }
             }
-            if !node.formula.eval(entry.slots) {
+            let satisfied = node.formula.eval(entry.slots);
+            if O::ENABLED {
+                self.observer.on_pop(v as u32, level, satisfied);
+            }
+            if !satisfied {
                 // Failed predicates: the entry and every pattern match it
                 // participates in are pruned, without enumeration.
                 continue;
@@ -435,6 +492,9 @@ impl TwigM {
                         if self.emitted.insert(id) {
                             self.results.push(NodeId::new(id));
                             self.stats.results += 1;
+                            if O::ENABLED {
+                                self.observer.on_result(NodeId::new(id));
+                            }
                         }
                     }
                 }
@@ -469,6 +529,9 @@ impl TwigM {
                         );
                         self.stats.candidates_merged += inserted;
                         self.live_candidates += inserted;
+                        if O::ENABLED {
+                            self.observer.on_upload(v as u32, p as u32, inserted);
+                        }
                         if p_eager && !e.candidates.is_empty() && p_formula.eval(e.slots | p_spine)
                         {
                             let cands = std::mem::take(&mut e.candidates);
@@ -483,16 +546,22 @@ impl TwigM {
             }
         }
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.live_candidates);
+        if O::ENABLED {
+            self.observer.on_event_end(&self.stats);
+        }
         if level == 1 {
             // Document root closed: nothing is active any more.
             debug_assert!(self.stacks.iter().all(Vec::is_empty));
             self.emitted.clear();
             self.live_candidates = 0;
+            if O::ENABLED {
+                self.observer.on_document_end();
+            }
         }
     }
 }
 
-impl StreamEngine for TwigM {
+impl<O: MachineObserver> StreamEngine for TwigM<O> {
     /// δs via the string path: one interner lookup, then symbol dispatch.
     fn start_element(
         &mut self,

@@ -1,0 +1,106 @@
+//! A counting observer: one integer per hook kind.
+//!
+//! This is the cheapest non-trivial observer and serves two roles: the
+//! testkit uses it to cross-check that hook firings agree with
+//! [`EngineStats`] (`pushes == stats.pushes`, etc.), and the
+//! `ablation_observer` bench uses it as the "minimal real observer"
+//! data point between [`twigm::NoopObserver`] and the full tracer.
+
+use twigm::{EngineStats, MachineObserver};
+use twigm_sax::{NodeId, Symbol};
+
+/// Counts every hook invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// δs firings observed.
+    pub start_elements: u64,
+    /// δe firings observed.
+    pub end_elements: u64,
+    /// Stack pushes observed.
+    pub pushes: u64,
+    /// Stack pops observed.
+    pub pops: u64,
+    /// Pops whose predicate formula held.
+    pub satisfied_pops: u64,
+    /// Branch-match uploads observed.
+    pub uploads: u64,
+    /// Candidate ids merged across all uploads.
+    pub candidates_merged: u64,
+    /// Results observed.
+    pub results: u64,
+    /// Event completions observed.
+    pub events: u64,
+    /// Documents completed.
+    pub documents: u64,
+}
+
+impl CountingObserver {
+    /// A fresh counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MachineObserver for CountingObserver {
+    fn on_start_element(&mut self, _sym: Symbol, _level: u32, _id: NodeId) {
+        self.start_elements += 1;
+    }
+
+    fn on_end_element(&mut self, _sym: Symbol, _level: u32) {
+        self.end_elements += 1;
+    }
+
+    fn on_push(&mut self, _node: u32, _level: u32, _is_candidate: bool) {
+        self.pushes += 1;
+    }
+
+    fn on_pop(&mut self, _node: u32, _level: u32, satisfied: bool) {
+        self.pops += 1;
+        if satisfied {
+            self.satisfied_pops += 1;
+        }
+    }
+
+    fn on_upload(&mut self, _node: u32, _parent: u32, merged: u64) {
+        self.uploads += 1;
+        self.candidates_merged += merged;
+    }
+
+    fn on_result(&mut self, _id: NodeId) {
+        self.results += 1;
+    }
+
+    fn on_event_end(&mut self, _stats: &EngineStats) {
+        self.events += 1;
+    }
+
+    fn on_document_end(&mut self) {
+        self.documents += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm::{run_engine, StreamEngine, TwigM};
+    use twigm_xpath::parse;
+
+    #[test]
+    fn counts_agree_with_engine_stats() {
+        let q = parse("//a[b]//c").unwrap();
+        let engine = TwigM::with_observer(&q, CountingObserver::new()).unwrap();
+        let xml = "<a><a><b/><c/></a><c/><d/></a>";
+        let (ids, engine) = run_engine(engine, xml.as_bytes()).unwrap();
+        let stats = engine.stats().clone();
+        let c = engine.into_observer();
+        assert_eq!(c.pushes, stats.pushes);
+        assert_eq!(c.pops, stats.pops);
+        assert_eq!(c.results, stats.results);
+        assert_eq!(c.results, ids.len() as u64);
+        assert_eq!(c.start_elements, stats.start_events);
+        assert_eq!(c.end_elements, stats.end_events);
+        assert_eq!(c.events, stats.events());
+        assert_eq!(c.documents, 1);
+        assert!(c.satisfied_pops <= c.pops);
+    }
+}

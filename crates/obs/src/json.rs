@@ -1,0 +1,186 @@
+//! A minimal JSON writer.
+//!
+//! The workspace builds offline with no registry dependencies (see the
+//! root `Cargo.toml`), so `serde_json` is not available. The observers
+//! only ever *emit* JSON — flat objects of numbers, strings, and
+//! arrays — which this hand-rolled builder covers in ~100 lines. The
+//! matching reader lives in `twigm-testkit::obsjson`, which validates
+//! the emitted documents in CI.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 §7 and appends it to `out`, without the
+/// surrounding quotes.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends a quoted, escaped JSON string to `out`.
+pub fn string_into(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null`.
+pub fn f64_to_json(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 (shortest representation) and always
+        // includes a decimal point or exponent, so the value reads back
+        // as a float.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental JSON object builder: `{"k": v, ...}`.
+///
+/// Values go in through typed methods; nesting is handled by passing a
+/// pre-rendered object or array to [`JsonObj::raw`].
+#[derive(Debug)]
+pub struct JsonObj {
+    out: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Opens a new object.
+    pub fn new() -> Self {
+        JsonObj {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        string_into(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Appends `key` with an already-serialized JSON `value`.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        string_into(&mut self.out, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&f64_to_json(value));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends an integer-or-null field.
+    pub fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Closes the object and returns the rendered text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders an iterator of pre-serialized JSON values as an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_renders_every_value_kind() {
+        let mut o = JsonObj::new();
+        o.str("name", "a\"b\\c\n")
+            .u64("n", 42)
+            .f64("x", 1.5)
+            .bool("ok", true)
+            .opt_u64("missing", None)
+            .raw("arr", &array_of(["1".into(), "2".into()]));
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"a\"b\\c\n","n":42,"x":1.5,"ok":true,"missing":null,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert_eq!(array_of(std::iter::empty()), "[]");
+    }
+
+    #[test]
+    fn control_characters_escape_as_hex() {
+        let mut s = String::new();
+        escape_into(&mut s, "\u{1}");
+        assert_eq!(s, "\\u0001");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        assert_eq!(f64_to_json(0.1), "0.1");
+        assert_eq!(f64_to_json(2.0), "2.0");
+        assert_eq!(f64_to_json(f64::NAN), "null");
+        assert_eq!(f64_to_json(f64::INFINITY), "null");
+    }
+}

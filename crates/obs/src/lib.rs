@@ -1,0 +1,53 @@
+//! **twigm-obs** — observability for the TwigM streaming XPath engines.
+//!
+//! The engines in `twigm` are generic over a
+//! [`MachineObserver`](twigm::MachineObserver); by default they run with
+//! [`NoopObserver`](twigm::NoopObserver), whose `ENABLED = false`
+//! monomorphizes every hook away (the `ablation_observer` bench in
+//! `twigm-bench` checks the default build stays on the pre-observer hot
+//! path). This crate supplies the observers that do real work:
+//!
+//! * [`TransitionTracer`] — records δs/δe firings, stack pushes/pops,
+//!   predicate uploads, and results on a deterministic virtual clock;
+//!   exports JSONL or Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto);
+//! * [`MetricsObserver`] — log₂-bucket [`Histogram`]s of stack depth,
+//!   candidate-merge size, and per-event work — the quantities
+//!   Theorem 4.4 of the paper bounds;
+//! * [`CountingObserver`] — one counter per hook, for parity checks and
+//!   minimal-overhead ablations;
+//! * [`StatsReport`] — a run-level throughput/latency report rendered
+//!   as `twigm-stats-v1` JSON or human-readable text, consumed by the
+//!   CLI's `--stats=json|pretty`.
+//!
+//! Everything is serialized with a hand-rolled writer ([`json`]) because
+//! the workspace builds offline with no registry dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use twigm::{run_engine, TwigM};
+//! use twigm_obs::TransitionTracer;
+//!
+//! let query = twigm_xpath::parse("//book[title]").unwrap();
+//! let engine = TwigM::with_observer(&query, TransitionTracer::new()).unwrap();
+//! let machine = engine.machine().clone();
+//! let (ids, engine) = run_engine(engine, &b"<lib><book><title/></book></lib>"[..]).unwrap();
+//! let tracer = engine.into_observer();
+//! assert_eq!(ids.len(), 1);
+//! assert!(tracer.to_jsonl(Some(&machine)).contains("\"kind\":\"result\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use counting::CountingObserver;
+pub use metrics::{Histogram, MetricsObserver};
+pub use report::{format_progress, StatsReport};
+pub use trace::{TraceKind, TraceRecord, TransitionTracer};

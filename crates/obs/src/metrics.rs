@@ -1,0 +1,278 @@
+//! Metrics histograms: distribution summaries of the quantities that
+//! Theorem 4.4 bounds.
+//!
+//! [`Histogram`] uses power-of-two buckets (bucket `i` holds values of
+//! bit-length `i`), so recording is two instructions and the memory is a
+//! fixed 65-slot array regardless of range — cheap enough to keep in the
+//! per-event path. [`MetricsObserver`] maintains three of them:
+//!
+//! * **stack depth** — total live stack entries, sampled at every push.
+//!   Its max is the engine's `peak_entries`, the quantity the paper
+//!   bounds by `|Q| · R`;
+//! * **candidate merges** — candidate ids moved per upload, the `B`
+//!   factor in the `O((|Q| + R·B)·|Q|·|D|)` running time;
+//! * **per-event work** — work-counter delta per δs/δe transition,
+//!   whose distribution being flat (independent of document position)
+//!   is the practical meaning of "streaming in linear time".
+
+use twigm::{EngineStats, MachineObserver};
+use twigm_sax::{NodeId, Symbol};
+
+use crate::json::JsonObj;
+
+/// A fixed-size log₂-bucket histogram over `u64` values.
+///
+/// Bucket `i` counts values of bit-length `i`: bucket 0 holds zeros,
+/// bucket 1 holds `1`, bucket 2 holds `2..=3`, bucket `i` holds
+/// `2^(i-1) ..= 2^i - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let bucket = 64 - v.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`): the upper
+    /// edge of the first bucket at which the cumulative count reaches
+    /// `q · count`, clamped to the recorded max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter_map(|(i, &c)| {
+            if c == 0 {
+                None
+            } else {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                Some((upper, c))
+            }
+        })
+    }
+
+    /// Serializes as a JSON object with summary stats and the sparse
+    /// bucket list (`[[upper, count], ...]`).
+    pub fn to_json(&self) -> String {
+        let buckets = crate::json::array_of(
+            self.nonzero_buckets()
+                .map(|(upper, count)| format!("[{upper},{count}]")),
+        );
+        let mut o = JsonObj::new();
+        o.u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("max", self.max)
+            .f64("mean", self.mean())
+            .u64("p50", self.quantile(0.5))
+            .u64("p99", self.quantile(0.99))
+            .raw("buckets", &buckets);
+        o.finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`MachineObserver`] that aggregates transition activity into
+/// histograms (see the module docs for what each one measures).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsObserver {
+    /// Total live stack entries, sampled at each push.
+    pub stack_depth: Histogram,
+    /// Candidate ids merged per branch-match upload.
+    pub candidate_merges: Histogram,
+    /// Work-counter delta per δs/δe transition.
+    pub event_work: Histogram,
+    /// Transitions observed (δs + δe).
+    pub events: u64,
+    /// Documents completed.
+    pub documents: u64,
+    /// Results emitted.
+    pub results: u64,
+    live: u64,
+    last_work: u64,
+}
+
+impl MetricsObserver {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live stack entries right now (drains to 0 between documents).
+    pub fn live_entries(&self) -> u64 {
+        self.live
+    }
+
+    /// Serializes the three histograms and the counters as one JSON
+    /// object (embedded under `"histograms"` in the stats report).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("events", self.events)
+            .u64("documents", self.documents)
+            .u64("results", self.results)
+            .raw("stack_depth", &self.stack_depth.to_json())
+            .raw("candidate_merges", &self.candidate_merges.to_json())
+            .raw("event_work", &self.event_work.to_json());
+        o.finish()
+    }
+}
+
+impl MachineObserver for MetricsObserver {
+    fn on_push(&mut self, _node: u32, _level: u32, _is_candidate: bool) {
+        self.live += 1;
+        self.stack_depth.record(self.live);
+    }
+
+    fn on_pop(&mut self, _node: u32, _level: u32, _satisfied: bool) {
+        self.live = self.live.saturating_sub(1);
+    }
+
+    fn on_upload(&mut self, _node: u32, _parent: u32, merged: u64) {
+        self.candidate_merges.record(merged);
+    }
+
+    fn on_result(&mut self, _id: NodeId) {
+        self.results += 1;
+    }
+
+    fn on_start_element(&mut self, _sym: Symbol, _level: u32, _id: NodeId) {}
+    fn on_end_element(&mut self, _sym: Symbol, _level: u32) {}
+
+    fn on_event_end(&mut self, stats: &EngineStats) {
+        self.events += 1;
+        let work = stats.work();
+        self.event_work.record(work - self.last_work);
+        self.last_work = work;
+    }
+
+    fn on_document_end(&mut self) {
+        self.documents += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm::{run_engine, TwigM};
+    use twigm_xpath::parse;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        assert_eq!(h.max(), 1000);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (1023, 1)]
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(500);
+        assert_eq!(h.quantile(0.5), 1);
+        // The top observation sits in the 256..=511 bucket but the
+        // reported quantile never exceeds the recorded max.
+        assert_eq!(h.quantile(1.0), 500);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn observer_tracks_live_depth_and_per_event_work() {
+        let q = parse("//a[b]//c").unwrap();
+        let engine = TwigM::with_observer(&q, MetricsObserver::new()).unwrap();
+        let (ids, engine) = run_engine(engine, "<a><b/><c/></a>".as_bytes()).unwrap();
+        let stats = twigm::StreamEngine::stats(&engine).clone();
+        let m = engine.into_observer();
+        assert_eq!(m.results, ids.len() as u64);
+        assert_eq!(m.documents, 1);
+        assert_eq!(m.live_entries(), 0, "stacks drain at document end");
+        assert_eq!(m.stack_depth.count(), stats.pushes);
+        assert_eq!(m.stack_depth.max(), stats.peak_entries);
+        assert_eq!(m.event_work.sum(), stats.work());
+        assert_eq!(m.event_work.count(), stats.events());
+    }
+
+    #[test]
+    fn metrics_json_embeds_all_three_histograms() {
+        let mut m = MetricsObserver::new();
+        m.on_push(0, 1, true);
+        m.on_event_end(&EngineStats::default());
+        let json = m.to_json();
+        for key in ["stack_depth", "candidate_merges", "event_work", "p99"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The transition tracer: records every machine transition as a
+//! timeline and exports it as JSONL or Chrome trace-event JSON.
+//!
+//! A trace is a sequence of [`TraceRecord`]s ordered by a virtual clock
+//! `seq` that ticks once per hook invocation. Real wall-clock time is
+//! deliberately *not* recorded: the interesting structure — which stack
+//! entries were alive while which elements were open — is an ordering
+//! property, and a deterministic clock makes traces reproducible and
+//! diffable across runs.
+//!
+//! Two export formats:
+//!
+//! * [`TransitionTracer::to_jsonl`] — one JSON object per line, the
+//!   machine-readable form (validated by `twigm-testkit`);
+//! * [`TransitionTracer::to_chrome_trace`] — the Chrome trace-event
+//!   format, loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!   Document elements render as spans on thread 0; each machine node's
+//!   stack renders as nested spans on its own thread, so the paper's
+//!   "stack of active prefix solutions" is literally visible as span
+//!   nesting depth.
+
+use twigm::machine::Machine;
+use twigm::{EngineStats, MachineObserver};
+use twigm_sax::{NodeId, Symbol, SymbolTable};
+use twigm_xpath::NameTest;
+
+use crate::json::JsonObj;
+
+/// What happened at one tick of the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// δs fired for a start tag (document element opened).
+    Start {
+        /// Interned tag symbol ([`Symbol::UNKNOWN`] if not in any query).
+        sym: Symbol,
+        /// Pre-order document node id.
+        id: NodeId,
+    },
+    /// δe fired for an end tag (document element closed).
+    End {
+        /// Interned tag symbol.
+        sym: Symbol,
+    },
+    /// A machine node pushed a stack entry.
+    Push {
+        /// Machine node index (see [`twigm::observe`] on encoding).
+        node: u32,
+        /// Whether the entry seeds the candidate set.
+        is_candidate: bool,
+    },
+    /// A machine node popped a stack entry.
+    Pop {
+        /// Machine node index.
+        node: u32,
+        /// Whether the entry's predicate formula held.
+        satisfied: bool,
+    },
+    /// A satisfied node uploaded its branch match to its parent.
+    Upload {
+        /// Source machine node.
+        node: u32,
+        /// Parent machine node receiving the branch match.
+        parent: u32,
+        /// Candidate ids merged upward.
+        merged: u64,
+    },
+    /// A result was decided and emitted.
+    Result {
+        /// The emitted document node id.
+        id: NodeId,
+    },
+    /// The document root closed.
+    DocumentEnd,
+}
+
+/// One trace entry: a transition at virtual time `seq`, while the
+/// document cursor was at element nesting `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual timestamp: hook invocations seen so far.
+    pub seq: u64,
+    /// Element nesting level of the document cursor when this fired.
+    pub level: u32,
+    /// The transition.
+    pub kind: TraceKind,
+}
+
+/// A [`MachineObserver`] that records transitions for later export.
+///
+/// Memory is bounded by [`TransitionTracer::with_limit`]: past the
+/// limit, records are counted but not stored ([`TransitionTracer::dropped`]).
+#[derive(Debug)]
+pub struct TransitionTracer {
+    records: Vec<TraceRecord>,
+    seq: u64,
+    level: u32,
+    limit: usize,
+    dropped: u64,
+}
+
+/// Default record limit: enough for every test document in the
+/// workspace while bounding a runaway trace on a huge input to ~200 MB.
+const DEFAULT_LIMIT: usize = 8 << 20;
+
+impl TransitionTracer {
+    /// A tracer with the default record limit.
+    pub fn new() -> Self {
+        Self::with_limit(DEFAULT_LIMIT)
+    }
+
+    /// A tracer that stores at most `limit` records; further records
+    /// only increment [`TransitionTracer::dropped`].
+    pub fn with_limit(limit: usize) -> Self {
+        TransitionTracer {
+            records: Vec::new(),
+            seq: 0,
+            level: 0,
+            limit,
+            dropped: 0,
+        }
+    }
+
+    /// The recorded transitions, in virtual-time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records that were discarded because the limit was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn record(&mut self, kind: TraceKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.records.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord {
+            seq,
+            level: self.level,
+            kind,
+        });
+    }
+
+    fn tag_json(symbols: Option<&SymbolTable>, sym: Symbol) -> String {
+        match symbols.and_then(|t| t.resolve(sym)) {
+            Some(name) => {
+                let mut s = String::new();
+                crate::json::string_into(&mut s, name);
+                s
+            }
+            None => "null".to_string(),
+        }
+    }
+
+    /// Exports the trace as JSON Lines: one object per record, with
+    /// `seq`, `kind`, `level`, and kind-specific fields. When `machine`
+    /// is given, start/end records carry the resolved `tag` name.
+    pub fn to_jsonl(&self, machine: Option<&Machine>) -> String {
+        let symbols = machine.map(|m| m.symbols());
+        let mut out = String::new();
+        for r in &self.records {
+            let mut o = JsonObj::new();
+            o.u64("seq", r.seq).u64("level", u64::from(r.level));
+            match r.kind {
+                TraceKind::Start { sym, id } => {
+                    o.str("kind", "start")
+                        .raw("tag", &Self::tag_json(symbols, sym))
+                        .u64("id", id.get());
+                }
+                TraceKind::End { sym } => {
+                    o.str("kind", "end")
+                        .raw("tag", &Self::tag_json(symbols, sym));
+                }
+                TraceKind::Push { node, is_candidate } => {
+                    o.str("kind", "push")
+                        .u64("node", u64::from(node))
+                        .bool("candidate", is_candidate);
+                }
+                TraceKind::Pop { node, satisfied } => {
+                    o.str("kind", "pop")
+                        .u64("node", u64::from(node))
+                        .bool("satisfied", satisfied);
+                }
+                TraceKind::Upload {
+                    node,
+                    parent,
+                    merged,
+                } => {
+                    o.str("kind", "upload")
+                        .u64("node", u64::from(node))
+                        .u64("parent", u64::from(parent))
+                        .u64("merged", merged);
+                }
+                TraceKind::Result { id } => {
+                    o.str("kind", "result").u64("id", id.get());
+                }
+                TraceKind::DocumentEnd => {
+                    o.str("kind", "document-end");
+                }
+            }
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn node_label(machine: Option<&Machine>, node: u32) -> String {
+        if let Some(m) = machine {
+            if let Some(n) = m.nodes.get(node as usize) {
+                return match &n.name {
+                    NameTest::Tag(t) => format!("v{node}: {t}"),
+                    NameTest::Wildcard => format!("v{node}: *"),
+                };
+            }
+        }
+        format!("v{node}")
+    }
+
+    fn tag_label(symbols: Option<&SymbolTable>, sym: Symbol) -> String {
+        match symbols.and_then(|t| t.resolve(sym)) {
+            Some(name) => name.to_string(),
+            None => "<other>".to_string(),
+        }
+    }
+
+    /// Exports the trace in the Chrome trace-event format (load the file
+    /// in `chrome://tracing` or Perfetto).
+    ///
+    /// Layout: the virtual clock maps to microseconds; thread 0 shows
+    /// the document's element spans; thread `1 + v` shows machine node
+    /// `v`'s stack as nested `B`/`E` spans (span depth = stack depth,
+    /// the paper's `R` per node). Uploads and results are instant
+    /// events. When `machine` is given, threads are named after the
+    /// machine nodes' name tests.
+    pub fn to_chrome_trace(&self, machine: Option<&Machine>) -> String {
+        let symbols = machine.map(|m| m.symbols());
+        let mut events: Vec<String> = Vec::with_capacity(self.records.len() + 8);
+
+        let meta = |name: &str, tid: u64, label: &str| {
+            let mut args = JsonObj::new();
+            args.str("name", label);
+            let mut o = JsonObj::new();
+            o.str("name", name)
+                .str("ph", "M")
+                .u64("pid", 0)
+                .u64("tid", tid)
+                .raw("args", &args.finish());
+            o.finish()
+        };
+        events.push(meta("process_name", 0, "twigm"));
+        events.push(meta("thread_name", 0, "document"));
+        let mut named: Vec<u32> = Vec::new();
+
+        for r in &self.records {
+            let mut o = JsonObj::new();
+            match r.kind {
+                TraceKind::Start { sym, id } => {
+                    let mut args = JsonObj::new();
+                    args.u64("level", u64::from(r.level)).u64("id", id.get());
+                    o.str("name", &Self::tag_label(symbols, sym))
+                        .str("cat", "doc")
+                        .str("ph", "B")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 0)
+                        .raw("args", &args.finish());
+                }
+                TraceKind::End { sym } => {
+                    o.str("name", &Self::tag_label(symbols, sym))
+                        .str("cat", "doc")
+                        .str("ph", "E")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 0);
+                }
+                TraceKind::Push { node, is_candidate } => {
+                    if !named.contains(&node) {
+                        named.push(node);
+                        events.push(meta(
+                            "thread_name",
+                            1 + u64::from(node),
+                            &Self::node_label(machine, node),
+                        ));
+                    }
+                    let mut args = JsonObj::new();
+                    args.u64("level", u64::from(r.level))
+                        .bool("candidate", is_candidate);
+                    o.str("name", &Self::node_label(machine, node))
+                        .str("cat", "stack")
+                        .str("ph", "B")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 1 + u64::from(node))
+                        .raw("args", &args.finish());
+                }
+                TraceKind::Pop { node, satisfied } => {
+                    let mut args = JsonObj::new();
+                    args.bool("satisfied", satisfied);
+                    o.str("name", &Self::node_label(machine, node))
+                        .str("cat", "stack")
+                        .str("ph", "E")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 1 + u64::from(node))
+                        .raw("args", &args.finish());
+                }
+                TraceKind::Upload {
+                    node,
+                    parent,
+                    merged,
+                } => {
+                    let mut args = JsonObj::new();
+                    args.u64("parent", u64::from(parent)).u64("merged", merged);
+                    o.str("name", "upload")
+                        .str("cat", "upload")
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 1 + u64::from(node))
+                        .raw("args", &args.finish());
+                }
+                TraceKind::Result { id } => {
+                    let mut args = JsonObj::new();
+                    args.u64("id", id.get());
+                    o.str("name", "result")
+                        .str("cat", "result")
+                        .str("ph", "i")
+                        .str("s", "g")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 0)
+                        .raw("args", &args.finish());
+                }
+                TraceKind::DocumentEnd => {
+                    o.str("name", "document-end")
+                        .str("cat", "doc")
+                        .str("ph", "i")
+                        .str("s", "g")
+                        .u64("ts", r.seq)
+                        .u64("pid", 0)
+                        .u64("tid", 0);
+                }
+            }
+            events.push(o.finish());
+        }
+
+        let mut top = JsonObj::new();
+        top.raw("traceEvents", &crate::json::array_of(events))
+            .str("displayTimeUnit", "ms")
+            .u64("droppedRecords", self.dropped);
+        top.finish()
+    }
+}
+
+impl Default for TransitionTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineObserver for TransitionTracer {
+    fn on_start_element(&mut self, sym: Symbol, level: u32, id: NodeId) {
+        self.level = level;
+        self.record(TraceKind::Start { sym, id });
+    }
+
+    fn on_end_element(&mut self, sym: Symbol, level: u32) {
+        self.level = level;
+        self.record(TraceKind::End { sym });
+    }
+
+    fn on_push(&mut self, node: u32, level: u32, is_candidate: bool) {
+        let cur = self.level;
+        self.level = level;
+        self.record(TraceKind::Push { node, is_candidate });
+        self.level = cur;
+    }
+
+    fn on_pop(&mut self, node: u32, level: u32, satisfied: bool) {
+        let cur = self.level;
+        self.level = level;
+        self.record(TraceKind::Pop { node, satisfied });
+        self.level = cur;
+    }
+
+    fn on_upload(&mut self, node: u32, parent: u32, merged: u64) {
+        self.record(TraceKind::Upload {
+            node,
+            parent,
+            merged,
+        });
+    }
+
+    fn on_result(&mut self, id: NodeId) {
+        self.record(TraceKind::Result { id });
+    }
+
+    fn on_event_end(&mut self, _stats: &EngineStats) {}
+
+    fn on_document_end(&mut self) {
+        self.record(TraceKind::DocumentEnd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm::{run_engine, TwigM};
+    use twigm_xpath::parse;
+
+    fn trace_of(query: &str, xml: &str) -> (TransitionTracer, Machine) {
+        let q = parse(query).unwrap();
+        let engine = TwigM::with_observer(&q, TransitionTracer::new()).unwrap();
+        let machine = engine.machine().clone();
+        let (_ids, engine) = run_engine(engine, xml.as_bytes()).unwrap();
+        (engine.into_observer(), machine)
+    }
+
+    #[test]
+    fn pushes_and_pops_balance_per_node() {
+        let (tracer, _) = trace_of("//a[b]//c", "<a><a><b/><c/></a><c/></a>");
+        let mut depth = std::collections::HashMap::new();
+        let mut last_seq = None;
+        for r in tracer.records() {
+            if let Some(prev) = last_seq {
+                assert!(r.seq > prev, "seq must strictly increase");
+            }
+            last_seq = Some(r.seq);
+            match r.kind {
+                TraceKind::Push { node, .. } => *depth.entry(node).or_insert(0i64) += 1,
+                TraceKind::Pop { node, .. } => {
+                    let d = depth.entry(node).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "pop without matching push on node {node}");
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unbalanced: {depth:?}");
+        assert!(matches!(
+            tracer.records().last().unwrap().kind,
+            TraceKind::DocumentEnd
+        ));
+    }
+
+    #[test]
+    fn jsonl_resolves_tags_and_has_one_line_per_record() {
+        let (tracer, machine) = trace_of("//a/b", "<a><b/></a>");
+        let jsonl = tracer.to_jsonl(Some(&machine));
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), tracer.records().len());
+        assert!(lines[0].contains(r#""kind":"start""#));
+        assert!(lines[0].contains(r#""tag":"a""#));
+        assert!(jsonl.contains(r#""kind":"result""#));
+        // Without the machine, tags are null rather than wrong.
+        assert!(tracer.to_jsonl(None).contains(r#""tag":null"#));
+    }
+
+    #[test]
+    fn chrome_trace_balances_spans_and_names_threads() {
+        let (tracer, machine) = trace_of("//a[b]", "<a><b/></a>");
+        let trace = tracer.to_chrome_trace(Some(&machine));
+        assert!(trace.starts_with(r#"{"traceEvents":["#));
+        let b = trace.matches(r#""ph":"B""#).count();
+        let e = trace.matches(r#""ph":"E""#).count();
+        assert_eq!(b, e, "every span opened must close");
+        assert!(trace.contains(r#""thread_name""#));
+        assert!(trace.contains("v0: a"));
+        assert!(trace.contains(r#""droppedRecords":0"#));
+    }
+
+    #[test]
+    fn limit_drops_and_counts_excess_records() {
+        let q = parse("//a").unwrap();
+        let engine = TwigM::with_observer(&q, TransitionTracer::with_limit(3)).unwrap();
+        let (_ids, engine) = run_engine(engine, "<a><a/><a/></a>".as_bytes()).unwrap();
+        let tracer = engine.into_observer();
+        assert_eq!(tracer.records().len(), 3);
+        assert!(tracer.dropped() > 0);
+        // seq keeps ticking past the limit.
+        assert_eq!(
+            tracer.records().last().unwrap().seq,
+            2,
+            "stored records keep their original seq"
+        );
+    }
+}

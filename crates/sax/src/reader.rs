@@ -47,6 +47,8 @@ pub struct SaxReader<R> {
     max_markup: usize,
     /// General entities declared in the DOCTYPE internal subset.
     entities: EntityMap,
+    /// Events emitted so far (event accounting for telemetry).
+    events: u64,
 }
 
 /// What the scanner found, as plain ranges into `buf`.
@@ -113,6 +115,7 @@ impl<R: Read> SaxReader<R> {
             pending_empty_end: false,
             max_markup: DEFAULT_MAX_MARKUP,
             entities: EntityMap::new(),
+            events: 0,
         }
     }
 
@@ -132,6 +135,13 @@ impl<R: Read> SaxReader<R> {
         self.open.len() as u32
     }
 
+    /// Number of events emitted so far. Together with
+    /// [`SaxReader::offset`] this gives drivers byte/event accounting
+    /// (events/s, bytes/s) without counting on their own.
+    pub fn events_emitted(&self) -> u64 {
+        self.events
+    }
+
     /// Returns the next event, or `None` at a well-formed end of document.
     #[allow(clippy::should_implement_trait)]
     pub fn next_event(&mut self) -> SaxResult<Option<Event<'_>>> {
@@ -143,6 +153,7 @@ impl<R: Read> SaxReader<R> {
             self.pending_empty_end = false;
             self.pending_pop = true;
             let level = self.open.len() as u32;
+            self.events += 1;
             let name = self.open.last().expect("empty-tag end with empty stack");
             return Ok(Some(Event::End(EndTag { name, level })));
         }
@@ -185,6 +196,7 @@ impl<R: Read> SaxReader<R> {
                     let id = NodeId::new(self.next_id);
                     self.next_id += 1;
                     self.pending_empty_end = self_closing;
+                    self.events += 1;
                     // All mutation done; take the final borrows.
                     let name = str_unchecked(&self.buf, name);
                     let attr_text = str_unchecked(&self.buf, attr);
@@ -217,6 +229,7 @@ impl<R: Read> SaxReader<R> {
                     }
                     let level = self.open.len() as u32;
                     self.open.pop();
+                    self.events += 1;
                     let name = str_unchecked(&self.buf, name);
                     return Ok(Some(Event::End(EndTag { name, level })));
                 }
@@ -235,6 +248,7 @@ impl<R: Read> SaxReader<R> {
                         continue;
                     }
                     let offset = self.base + range.0 as u64;
+                    self.events += 1;
                     let s = self.str_at(range)?;
                     let text = if cdata {
                         Cow::Borrowed(s)
@@ -244,6 +258,7 @@ impl<R: Read> SaxReader<R> {
                     return Ok(Some(Event::Text(text)));
                 }
                 Scanned::Comment { range } => {
+                    self.events += 1;
                     let s = self.str_at(range)?;
                     return Ok(Some(Event::Comment(s)));
                 }
@@ -252,6 +267,7 @@ impl<R: Read> SaxReader<R> {
                     if target_s.eq_ignore_ascii_case("xml") {
                         continue; // XML declaration
                     }
+                    self.events += 1;
                     let target = str_unchecked(&self.buf, target);
                     let data = str_unchecked(&self.buf, data);
                     return Ok(Some(Event::ProcessingInstruction { target, data }));
@@ -895,6 +911,19 @@ mod tests {
                 ("c".into(), 5, 4),
             ]
         );
+    }
+
+    #[test]
+    fn reader_counts_emitted_events() {
+        let mut r = SaxReader::from_bytes(b"<a>x<b/><!-- c --></a>");
+        let mut n = 0u64;
+        while r.next_event().unwrap().is_some() {
+            n += 1;
+            assert_eq!(r.events_emitted(), n);
+        }
+        // <a>, "x", <b>, </b>, comment, </a>.
+        assert_eq!(n, 6);
+        assert_eq!(r.events_emitted(), 6);
     }
 
     #[test]

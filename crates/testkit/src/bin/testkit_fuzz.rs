@@ -4,7 +4,12 @@
 //! testkit-fuzz [--seed N] [--cases N] [--seconds N]
 //!              [--corpus-dir DIR] [--no-shrink]
 //! testkit-fuzz --replay FILE-OR-DIR
+//! testkit-fuzz --validate-stats FILE | --validate-trace FILE
 //! ```
+//!
+//! The `--validate-*` modes schema-check observability artifacts (the
+//! CLI's `--stats=json` report and `--trace` output) via
+//! [`twigm_testkit::obsjson`]; CI's obs-smoke stage uses them.
 //!
 //! The library is wall-clock free; this binary checks the `--seconds`
 //! budget *between* cases only, so a given `(seed, case-index)` pair
@@ -27,10 +32,13 @@ struct Args {
     replay: Option<PathBuf>,
     corpus_dir: Option<PathBuf>,
     no_shrink: bool,
+    validate_stats: Option<PathBuf>,
+    validate_trace: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: testkit-fuzz [--seed N] [--cases N] [--seconds N] \
-                     [--corpus-dir DIR] [--no-shrink] | --replay FILE-OR-DIR";
+                     [--corpus-dir DIR] [--no-shrink] | --replay FILE-OR-DIR \
+                     | --validate-stats FILE | --validate-trace FILE";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         corpus_dir: None,
         no_shrink: false,
+        validate_stats: None,
+        validate_trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +71,12 @@ fn parse_args() -> Result<Args, String> {
                 args.seconds = Some(parse_u64(&v)?);
             }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--validate-stats" => {
+                args.validate_stats = Some(PathBuf::from(value("--validate-stats")?));
+            }
+            "--validate-trace" => {
+                args.validate_trace = Some(PathBuf::from(value("--validate-trace")?));
+            }
             "--corpus-dir" => args.corpus_dir = Some(PathBuf::from(value("--corpus-dir")?)),
             "--no-shrink" => args.no_shrink = true,
             "--help" | "-h" => {
@@ -90,10 +106,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.validate_stats {
+        return validate(path, "stats", twigm_testkit::obsjson::validate_stats);
+    }
+    if let Some(path) = &args.validate_trace {
+        let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+        let validator = if jsonl {
+            twigm_testkit::obsjson::validate_trace_jsonl
+        } else {
+            twigm_testkit::obsjson::validate_trace_chrome
+        };
+        return validate(
+            path,
+            if jsonl { "jsonl trace" } else { "chrome trace" },
+            validator,
+        );
+    }
     if let Some(path) = &args.replay {
         return replay(path);
     }
     fuzz(&args)
+}
+
+/// Schema-checks one observability artifact and reports PASS/FAIL.
+fn validate(path: &FsPath, what: &str, check: fn(&str) -> Result<(), String>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("testkit-fuzz: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(()) => {
+            println!("PASS {} ({what})", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("FAIL {} ({what}): {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Replays one `.case` file, or every `*.case` in a directory.

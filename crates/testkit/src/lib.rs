@@ -56,6 +56,7 @@
 pub mod check;
 pub mod corpus;
 pub mod metamorphic;
+pub mod obsjson;
 pub mod querygen;
 pub mod resplit;
 pub mod runner;

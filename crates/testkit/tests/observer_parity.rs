@@ -1,0 +1,103 @@
+//! Observer-transparency gate over the generator corpus.
+//!
+//! Attaching an observer must never change what the engine computes:
+//! for seeded random (document, query) pairs, a `TwigM` carrying a
+//! [`CountingObserver`], [`TransitionTracer`] or [`MetricsObserver`]
+//! must report the same result ids and identical [`EngineStats`] as the
+//! default `NoopObserver` run — and the hook firings themselves must
+//! agree with the stats counters. The tracer's exports are then fed
+//! back through the `obsjson` validators, so the same corpus also
+//! exercises the trace schema end to end.
+
+use twigm::{run_engine, StreamEngine, TwigM};
+use twigm_datagen::SplitMix64;
+use twigm_obs::{CountingObserver, MetricsObserver, TransitionTracer};
+use twigm_testkit::obsjson;
+use twigm_testkit::querygen::{generate_query, QueryConfig};
+use twigm_testkit::xmlgen::{generate_doc, DocConfig};
+
+const CASES: u64 = 60;
+const SEED: u64 = 0x0B5E_0B5E;
+
+/// Runs one engine over `xml` and returns (ids, stats, engine).
+fn run<O: twigm::MachineObserver>(
+    engine: TwigM<O>,
+    xml: &[u8],
+) -> (Vec<u64>, twigm::EngineStats, TwigM<O>) {
+    let (ids, engine) = run_engine(engine, xml).expect("generated XML is well-formed");
+    let ids = ids.iter().map(|id| id.get()).collect();
+    let stats = engine.stats().clone();
+    (ids, stats, engine)
+}
+
+#[test]
+fn observers_never_change_results_or_stats() {
+    let mut rng = SplitMix64::seed_from_u64(SEED);
+    let doc_cfg = DocConfig::default();
+    let query_cfg = QueryConfig::default();
+    for case in 0..CASES {
+        let xml = generate_doc(&mut rng, &doc_cfg);
+        let query = generate_query(&mut rng, &query_cfg);
+        let ctx = || format!("case {case} query `{query}`");
+
+        let (base_ids, base_stats, _) = run(TwigM::new(&query).unwrap(), &xml);
+
+        // CountingObserver: same answers, hook counts match the stats.
+        let engine = TwigM::with_observer(&query, CountingObserver::new()).unwrap();
+        let (ids, stats, engine) = run(engine, &xml);
+        assert_eq!(ids, base_ids, "{}", ctx());
+        assert_eq!(stats, base_stats, "{}", ctx());
+        let c = engine.into_observer();
+        assert_eq!(c.pushes, stats.pushes, "{}", ctx());
+        assert_eq!(c.pops, stats.pops, "{}", ctx());
+        // One upload hook can cover several parent-stack probes, and
+        // some merges (result propagation) happen outside δe uploads,
+        // so the hook's view is a lower bound here.
+        assert!(c.uploads <= stats.upload_probes, "{}", ctx());
+        assert!(c.candidates_merged <= stats.candidates_merged, "{}", ctx());
+        assert_eq!(c.results, stats.results, "{}", ctx());
+        assert_eq!(c.start_elements, stats.start_events, "{}", ctx());
+        assert_eq!(c.end_elements, stats.end_events, "{}", ctx());
+        assert_eq!(c.events, stats.events(), "{}", ctx());
+        assert_eq!(c.documents, 1, "{}", ctx());
+
+        // MetricsObserver: same answers, histogram mass matches.
+        let engine = TwigM::with_observer(&query, MetricsObserver::new()).unwrap();
+        let (ids, stats, engine) = run(engine, &xml);
+        assert_eq!(ids, base_ids, "{}", ctx());
+        assert_eq!(stats, base_stats, "{}", ctx());
+        let m = engine.into_observer();
+        assert_eq!(m.stack_depth.count(), stats.pushes, "{}", ctx());
+        assert_eq!(m.stack_depth.max(), stats.peak_entries, "{}", ctx());
+        assert_eq!(m.event_work.sum(), stats.work(), "{}", ctx());
+        assert_eq!(m.live_entries(), 0, "{}", ctx());
+    }
+}
+
+#[test]
+fn tracer_exports_validate_over_the_corpus() {
+    let mut rng = SplitMix64::seed_from_u64(SEED ^ 0xDEAD);
+    let doc_cfg = DocConfig::default();
+    let query_cfg = QueryConfig::default();
+    for case in 0..CASES / 2 {
+        let xml = generate_doc(&mut rng, &doc_cfg);
+        let query = generate_query(&mut rng, &query_cfg);
+        let ctx = || format!("case {case} query `{query}`");
+
+        let (base_ids, base_stats, _) = run(TwigM::new(&query).unwrap(), &xml);
+        let engine = TwigM::with_observer(&query, TransitionTracer::new()).unwrap();
+        let (ids, stats, engine) = run(engine, &xml);
+        assert_eq!(ids, base_ids, "{}", ctx());
+        assert_eq!(stats, base_stats, "{}", ctx());
+
+        let machine = engine.machine().clone();
+        let tracer = engine.into_observer();
+        assert_eq!(tracer.dropped(), 0, "{}", ctx());
+        let jsonl = tracer.to_jsonl(Some(&machine));
+        obsjson::validate_trace_jsonl(&jsonl)
+            .unwrap_or_else(|e| panic!("{}: jsonl invalid: {e}\n{jsonl}", ctx()));
+        let chrome = tracer.to_chrome_trace(Some(&machine));
+        obsjson::validate_trace_chrome(&chrome)
+            .unwrap_or_else(|e| panic!("{}: chrome trace invalid: {e}", ctx()));
+    }
+}

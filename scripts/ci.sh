@@ -39,4 +39,30 @@ fi
 echo "==> corpus replay: shrunk past failures stay fixed"
 target/release/testkit-fuzz --replay tests/corpus
 
+# Observability smoke: drive the CLI with every telemetry flag on a
+# Figure-2-style query, then schema-check the artifacts with the
+# testkit validators, and hold the observer layer to its zero-cost
+# claim (traced NoopObserver driver within 2% of the plain hot path,
+# min-of-repeats aggregated over the bench query corpus). Scale the
+# bench with OBS_SMOKE_SCALE; set OBS_SMOKE=0 to skip the stage.
+OBS_SMOKE="${OBS_SMOKE:-1}"
+if [ "$OBS_SMOKE" != 0 ]; then
+    echo "==> obs smoke: stats/trace schemas + observer ablation gate"
+    cargo build --release -p twigm-cli -p twigm-bench
+    obs_tmp="$(mktemp -d)"
+    trap 'rm -rf "$obs_tmp"' EXIT
+    printf '<r><a><a><b/><c/></a><c/></a><a/></r>' > "$obs_tmp/doc.xml"
+    target/release/twigm --stats=json --progress \
+        --trace "$obs_tmp/trace.json" -c '//a[b]//c' "$obs_tmp/doc.xml" \
+        > "$obs_tmp/out.txt" 2> "$obs_tmp/stats.json"
+    grep -q '^1$' "$obs_tmp/out.txt"
+    target/release/twigm --trace "$obs_tmp/trace.jsonl" '//a[b]//c' \
+        "$obs_tmp/doc.xml" > /dev/null
+    target/release/testkit-fuzz --validate-stats "$obs_tmp/stats.json"
+    target/release/testkit-fuzz --validate-trace "$obs_tmp/trace.json"
+    target/release/testkit-fuzz --validate-trace "$obs_tmp/trace.jsonl"
+    OBS_ABLATION_GATE=2 target/release/ablation_observer \
+        --scale "${OBS_SMOKE_SCALE:-0.05}" --repeats 9
+fi
+
 echo "CI green."

@@ -1,0 +1,82 @@
+//! Dispatch-parity gate: the interned (symbol) event path and the
+//! string fallback path must be observationally identical — same result
+//! ids *and* the same [`EngineStats`], counter for counter — across the
+//! testkit generator corpus. The symbol hot path earns its keep in the
+//! benches; this test pins that it never changes what gets counted,
+//! which is what makes `--stats` output comparable across runs that
+//! happen to take different dispatch paths.
+
+use twigm::{run_engine, Engine, EngineStats, StreamEngine, TwigM};
+use twigm_datagen::SplitMix64;
+use twigm_sax::{Attribute, NodeId};
+use twigm_testkit::querygen::{generate_query, QueryConfig};
+use twigm_testkit::xmlgen::{generate_doc, DocConfig};
+
+/// Forwards only the string entry points and hides the inner engine's
+/// symbol table, so `run_engine` takes the no-interning path (same
+/// shape as the `ablation_interning` bench wrapper).
+struct StringOnly<E>(E);
+
+impl<E: StreamEngine> StreamEngine for StringOnly<E> {
+    fn start_element(
+        &mut self,
+        tag: &str,
+        attrs: &[Attribute<'_>],
+        level: u32,
+        id: NodeId,
+    ) -> bool {
+        self.0.start_element(tag, attrs, level, id)
+    }
+
+    fn text(&mut self, text: &str) {
+        self.0.text(text)
+    }
+
+    fn end_element(&mut self, tag: &str, level: u32) {
+        self.0.end_element(tag, level)
+    }
+
+    fn take_results(&mut self) -> Vec<NodeId> {
+        self.0.take_results()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.0.stats()
+    }
+}
+
+fn ids_and_stats<E: StreamEngine>(engine: E, xml: &[u8]) -> (Vec<u64>, EngineStats) {
+    let (ids, engine) = run_engine(engine, xml).expect("generated XML is well-formed");
+    let ids = ids.iter().map(|id| id.get()).collect();
+    (ids, engine.stats().clone())
+}
+
+#[test]
+fn string_and_symbol_dispatch_agree_on_stats() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A7_5017);
+    let doc_cfg = DocConfig::default();
+    let query_cfg = QueryConfig::default();
+    for case in 0..80u32 {
+        let xml = generate_doc(&mut rng, &doc_cfg);
+        let query = generate_query(&mut rng, &query_cfg);
+
+        // Full TwigM, both dispatch paths.
+        let (sym_ids, sym_stats) = ids_and_stats(TwigM::new(&query).unwrap(), &xml);
+        let (str_ids, str_stats) = ids_and_stats(StringOnly(TwigM::new(&query).unwrap()), &xml);
+        assert_eq!(sym_ids, str_ids, "case {case} query `{query}`: ids differ");
+        assert_eq!(
+            sym_stats, str_stats,
+            "case {case} query `{query}`: TwigM stats differ by dispatch path"
+        );
+
+        // Auto-selected engine (PathM / BranchM / TwigM by query class),
+        // so the lighter machines get the same parity coverage.
+        let (sym_ids, sym_stats) = ids_and_stats(Engine::new(&query).unwrap(), &xml);
+        let (str_ids, str_stats) = ids_and_stats(StringOnly(Engine::new(&query).unwrap()), &xml);
+        assert_eq!(sym_ids, str_ids, "case {case} query `{query}`: ids differ");
+        assert_eq!(
+            sym_stats, str_stats,
+            "case {case} query `{query}`: auto-engine stats differ by dispatch path"
+        );
+    }
+}
