@@ -1,0 +1,373 @@
+//! Scanner ablation — measures what the SWAR/SSE2 byte-scanning paths in
+//! `twigm_sax::scan` buy over the byte-at-a-time scalar loops they
+//! replaced, on the three Figure-5 datasets.
+//!
+//! Three levels are measured, each with the vector dispatch enabled and
+//! with `scan::set_force_scalar(true)` (which routes every call to the
+//! pre-SWAR reference code: `iter().position` byte loops and the
+//! `windows(n)` substring scan):
+//!
+//! * **text scan** — successive [`scan::memchr`]`(b'<', ..)` hops across
+//!   the whole document: the `scan_text` hot loop that finds every
+//!   markup boundary;
+//! * **terminator scan** — [`scan::find_seq`] for `-->` and `]]>` over
+//!   the whole document: the comment/CDATA terminator search that was a
+//!   naive `windows(3).position` scan before this module existed;
+//! * **e2e** — a full `SaxReader` parse of the same document, counting
+//!   events, which shows how much of the end-to-end budget scanning is.
+//!
+//! The micro number gates on text + terminator combined (total scalar
+//! time over total vector time). A *structural walk* replaying the
+//! reader's short-hop interior scanning (`tag_delim` through quoted
+//! attributes, `name_run_len` over names) runs untimed as a differential
+//! check: its token/name-byte counts and the full-parse event counts
+//! must be identical between the scalar and vector paths, so the run
+//! doubles as a scanner-equivalence check on multi-megabyte real data.
+//! (It is not part of the gate: at XML's ~20-byte hop lengths, per-call
+//! vector setup roughly cancels the width advantage — the e2e number is
+//! the honest in-context measure.)
+//!
+//! With `SCAN_ABLATION_GATE=<factor>` set, exits non-zero unless the
+//! micro speedup (min-of-repeats, summed over all three datasets) is at
+//! least `<factor>`× and the best per-dataset e2e speedup is at least
+//! 1.02× — the CI scan-smoke stage runs this with 2.
+//!
+//! Usage: `cargo run -p twigm-bench --release --bin ablation_scanner`
+//! (plus the common `--scale X` / `--full` / `--repeats N` / `--csv` /
+//! `--json PATH`).
+
+use std::time::{Duration, Instant};
+
+use twigm_bench::ensure_dataset;
+use twigm_bench::harness::{print_row, CommonArgs};
+use twigm_datagen::Dataset;
+use twigm_sax::{scan, SaxReader};
+
+/// Counts from one structural walk, compared scalar-vs-vector as a
+/// differential on the real dataset bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScanCounts {
+    /// Markup constructs seen (tags, comments, CDATA sections, PIs).
+    tokens: u64,
+    /// Total bytes matched by `name_run_len` over tag names.
+    name_bytes: u64,
+}
+
+/// Replays the reader's hot byte loops over the whole document: text
+/// runs end at `<`, tag interiors are walked with `tag_delim` honouring
+/// quotes, names with `name_run_len`, and comment/CDATA/PI bodies are
+/// skipped with `find_seq` — the same scan.rs entry points `Reader`
+/// uses, minus event construction and UTF-8/well-formedness work.
+fn structural_walk(xml: &[u8]) -> ScanCounts {
+    let mut counts = ScanCounts {
+        tokens: 0,
+        name_bytes: 0,
+    };
+    let mut i = 0usize;
+    while let Some(p) = scan::memchr(b'<', &xml[i..]) {
+        let at = i + p;
+        let rest = &xml[at..];
+        counts.tokens += 1;
+        if rest.starts_with(b"<!--") {
+            i = match scan::find_seq(b"-->", &rest[4..]) {
+                Some(q) => at + 4 + q + 3,
+                None => break,
+            };
+        } else if rest.starts_with(b"<![CDATA[") {
+            i = match scan::find_seq(b"]]>", &rest[9..]) {
+                Some(q) => at + 9 + q + 3,
+                None => break,
+            };
+        } else if rest.starts_with(b"<?") {
+            i = match scan::find_seq(b"?>", &rest[2..]) {
+                Some(q) => at + 2 + q + 2,
+                None => break,
+            };
+        } else {
+            // Start or end tag: name run, then the delimiter-jumping
+            // interior walk (quotes hide `>`).
+            let name_at = at + 1 + usize::from(rest.len() > 1 && rest[1] == b'/');
+            let name_len = scan::name_run_len(&xml[name_at..]);
+            counts.name_bytes += name_len as u64;
+            let mut j = name_at + name_len;
+            loop {
+                match scan::tag_delim(&xml[j..]) {
+                    Some(q) if matches!(xml[j + q], b'"' | b'\'') => {
+                        let quote = xml[j + q];
+                        match scan::memchr(quote, &xml[j + q + 1..]) {
+                            Some(c) => j = j + q + 1 + c + 1,
+                            None => {
+                                j = xml.len();
+                                break;
+                            }
+                        }
+                    }
+                    Some(q) => {
+                        // `>` ends the tag; a stray `<` restarts markup.
+                        j += q + usize::from(xml[j + q] == b'>');
+                        break;
+                    }
+                    None => {
+                        j = xml.len();
+                        break;
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+    counts
+}
+
+/// One timed text-scan pass: every `<` boundary in the document via
+/// successive `memchr` hops, exactly like `scan_text`.
+fn text_scan_pass(xml: &[u8]) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut boundaries = 0u64;
+    let mut i = 0usize;
+    while let Some(p) = scan::memchr(b'<', std::hint::black_box(&xml[i..])) {
+        boundaries += 1;
+        i += p + 1;
+    }
+    (start.elapsed(), boundaries)
+}
+
+/// One timed terminator-scan pass: `find_seq` for the comment and CDATA
+/// terminators over the whole document (the `scan_skip` worst case,
+/// formerly `windows(3).position`).
+fn terminator_scan_pass(xml: &[u8]) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for seq in [&b"-->"[..], b"]]>"] {
+        let mut i = 0usize;
+        while let Some(p) = scan::find_seq(seq, std::hint::black_box(&xml[i..])) {
+            hits += 1;
+            i += p + 1;
+        }
+    }
+    (start.elapsed(), hits)
+}
+
+/// One timed full-parse pass.
+fn e2e_pass(xml: &[u8]) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut reader = SaxReader::from_bytes(xml);
+    let mut events = 0u64;
+    while let Some(event) = reader
+        .next_event()
+        .expect("benchmark dataset is well-formed")
+    {
+        std::hint::black_box(&event);
+        events += 1;
+    }
+    (start.elapsed(), events)
+}
+
+fn min(samples: &[Duration]) -> Duration {
+    *samples.iter().min().expect("repeats >= 1")
+}
+
+fn mbs(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / d.as_secs_f64() / (1024.0 * 1024.0)
+}
+
+/// Per-dataset min-of-repeats times feeding the table, the gate, and the
+/// JSON dump.
+struct DatasetResult {
+    name: &'static str,
+    bytes: usize,
+    text_scalar: Duration,
+    text_vector: Duration,
+    term_scalar: Duration,
+    term_vector: Duration,
+    e2e_scalar: Duration,
+    e2e_vector: Duration,
+}
+
+impl DatasetResult {
+    fn micro_scalar(&self) -> Duration {
+        self.text_scalar + self.term_scalar
+    }
+
+    fn micro_vector(&self) -> Duration {
+        self.text_vector + self.term_vector
+    }
+}
+
+fn ratio(scalar: Duration, vector: Duration) -> f64 {
+    scalar.as_secs_f64() / vector.as_secs_f64()
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let gate: Option<f64> = std::env::var("SCAN_ABLATION_GATE")
+        .ok()
+        .map(|v| v.parse().expect("SCAN_ABLATION_GATE must be a factor"));
+
+    println!("scanner ablation: SWAR/SSE2 dispatch vs forced-scalar reference");
+    println!("(text = memchr '<' boundary hops; term = find_seq --> ]]> whole-doc;");
+    println!(" micro x gates on text+term combined; e2e = full SaxReader parse)");
+    println!();
+    let widths = [9, 6, 9, 9, 9, 9, 8, 9, 9, 6];
+    print_row(
+        &widths,
+        &[
+            "dataset".into(),
+            "MB".into(),
+            "text-sc".into(),
+            "text-vec".into(),
+            "term-sc".into(),
+            "term-vec".into(),
+            "micro x".into(),
+            "e2e-sc".into(),
+            "e2e-vec".into(),
+            "e2e x".into(),
+        ],
+    );
+
+    let mut results: Vec<DatasetResult> = Vec::new();
+    for dataset in Dataset::ALL {
+        let path = ensure_dataset(dataset, args.size_for(dataset)).expect("dataset generation");
+        let xml = std::fs::read(&path).expect("read dataset");
+
+        // Differential: both scan paths must agree on real data before
+        // anything is timed — structural-walk counts, micro counts, and
+        // full-parse event counts.
+        let vector_walk = structural_walk(&xml);
+        let (_, vector_boundaries) = text_scan_pass(&xml);
+        let (_, vector_hits) = terminator_scan_pass(&xml);
+        let (_, vector_events) = e2e_pass(&xml);
+        scan::set_force_scalar(true);
+        let scalar_walk = structural_walk(&xml);
+        let (_, scalar_boundaries) = text_scan_pass(&xml);
+        let (_, scalar_hits) = terminator_scan_pass(&xml);
+        let (_, scalar_events) = e2e_pass(&xml);
+        scan::set_force_scalar(false);
+        assert_eq!(
+            vector_walk,
+            scalar_walk,
+            "scalar and vector structural walks disagree on {}",
+            dataset.name()
+        );
+        assert_eq!(
+            (vector_boundaries, vector_hits, vector_events),
+            (scalar_boundaries, scalar_hits, scalar_events),
+            "scalar and vector scans disagree on {}",
+            dataset.name()
+        );
+
+        // Interleaved sampling so load spikes hit both variants alike.
+        let mut text_scalar = Vec::with_capacity(args.repeats);
+        let mut text_vector = Vec::with_capacity(args.repeats);
+        let mut term_scalar = Vec::with_capacity(args.repeats);
+        let mut term_vector = Vec::with_capacity(args.repeats);
+        let mut e2e_scalar = Vec::with_capacity(args.repeats);
+        let mut e2e_vector = Vec::with_capacity(args.repeats);
+        for _ in 0..args.repeats {
+            scan::set_force_scalar(true);
+            text_scalar.push(text_scan_pass(&xml).0);
+            term_scalar.push(terminator_scan_pass(&xml).0);
+            e2e_scalar.push(e2e_pass(&xml).0);
+            scan::set_force_scalar(false);
+            text_vector.push(text_scan_pass(&xml).0);
+            term_vector.push(terminator_scan_pass(&xml).0);
+            e2e_vector.push(e2e_pass(&xml).0);
+        }
+
+        let r = DatasetResult {
+            name: dataset.name(),
+            bytes: xml.len(),
+            text_scalar: min(&text_scalar),
+            text_vector: min(&text_vector),
+            term_scalar: min(&term_scalar),
+            term_vector: min(&term_vector),
+            e2e_scalar: min(&e2e_scalar),
+            e2e_vector: min(&e2e_vector),
+        };
+        print_row(
+            &widths,
+            &[
+                r.name.into(),
+                format!("{:.1}", r.bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.0}", mbs(r.bytes, r.text_scalar)),
+                format!("{:.0}", mbs(r.bytes, r.text_vector)),
+                format!("{:.0}", mbs(2 * r.bytes, r.term_scalar)),
+                format!("{:.0}", mbs(2 * r.bytes, r.term_vector)),
+                format!("{:.2}", ratio(r.micro_scalar(), r.micro_vector())),
+                format!("{:.0}", mbs(r.bytes, r.e2e_scalar)),
+                format!("{:.0}", mbs(r.bytes, r.e2e_vector)),
+                format!("{:.2}", ratio(r.e2e_scalar, r.e2e_vector)),
+            ],
+        );
+        results.push(r);
+    }
+
+    // Gate aggregates min-of-repeats: min is the least noisy per-dataset
+    // estimate, and summing keeps residual jitter from flipping the
+    // verdict while systematic wins still accumulate.
+    let micro_scalar: Duration = results.iter().map(|r| r.micro_scalar()).sum();
+    let micro_vector: Duration = results.iter().map(|r| r.micro_vector()).sum();
+    let micro_speedup = ratio(micro_scalar, micro_vector);
+    let e2e_best = results
+        .iter()
+        .map(|r| ratio(r.e2e_scalar, r.e2e_vector))
+        .fold(0.0f64, f64::max);
+    println!();
+    println!(
+        "overall (min-of-{} summed): micro {:.2}x, e2e best dataset {:.2}x",
+        args.repeats, micro_speedup, e2e_best
+    );
+
+    if let Some(path) = &args.json {
+        let mut out = String::from("{\n  \"bench\": \"scanner_ablation\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", args.scale));
+        out.push_str(&format!("  \"repeats\": {},\n", args.repeats));
+        out.push_str("  \"datasets\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let bps = |d: Duration| r.bytes as f64 / d.as_secs_f64();
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"bytes\": {},\n     \
+                 \"text\": {{\"scalar_bps\": {:.0}, \"vector_bps\": {:.0}, \"speedup\": {:.4}}},\n     \
+                 \"terminator\": {{\"scalar_bps\": {:.0}, \"vector_bps\": {:.0}, \"speedup\": {:.4}}},\n     \
+                 \"micro_speedup\": {:.4},\n     \
+                 \"e2e\": {{\"scalar_bps\": {:.0}, \"vector_bps\": {:.0}, \"speedup\": {:.4}}}}}{}\n",
+                r.name,
+                r.bytes,
+                bps(r.text_scalar),
+                bps(r.text_vector),
+                ratio(r.text_scalar, r.text_vector),
+                2.0 * bps(r.term_scalar),
+                2.0 * bps(r.term_vector),
+                ratio(r.term_scalar, r.term_vector),
+                ratio(r.micro_scalar(), r.micro_vector()),
+                bps(r.e2e_scalar),
+                bps(r.e2e_vector),
+                ratio(r.e2e_scalar, r.e2e_vector),
+                if i + 1 == results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"micro_speedup_overall\": {micro_speedup:.4},\n"
+        ));
+        out.push_str(&format!("  \"e2e_speedup_best\": {e2e_best:.4}\n}}\n"));
+        std::fs::write(path, out).expect("write --json output");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(factor) = gate {
+        let e2e_ok = e2e_best >= 1.02;
+        if micro_speedup >= factor && e2e_ok {
+            println!(
+                "gate: micro {micro_speedup:.2}x >= {factor}x and e2e best \
+                 {e2e_best:.2}x >= 1.02x — OK"
+            );
+        } else {
+            eprintln!(
+                "gate FAIL: micro {micro_speedup:.2}x (need >= {factor}x), e2e best \
+                 {e2e_best:.2}x (need >= 1.02x)"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -188,6 +188,8 @@ pub struct CommonArgs {
     pub timeout: Duration,
     /// Emit CSV rows instead of aligned columns.
     pub csv: bool,
+    /// Write machine-readable results to this path (`--json PATH`).
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl CommonArgs {
@@ -198,6 +200,7 @@ impl CommonArgs {
             repeats: 3,
             timeout: Duration::from_secs(120),
             csv: false,
+            json: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -226,9 +229,12 @@ impl CommonArgs {
                         .expect("--timeout requires seconds");
                     args.timeout = Duration::from_secs(secs);
                 }
+                "--json" => {
+                    args.json = Some(iter.next().expect("--json requires a path").into());
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --full --scale X --repeats N \
-                     --timeout SECS --csv"
+                     --timeout SECS --csv --json PATH"
                 ),
             }
         }

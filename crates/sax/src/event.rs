@@ -77,6 +77,11 @@ impl<'a> StartTag<'a> {
         self.id
     }
 
+    /// Absolute byte offset of the tag's `<` in the stream.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
     /// Iterates over the tag's attributes, decoding entity references in
     /// values on the fly.
     ///

@@ -6,6 +6,7 @@ use std::io::Read;
 use crate::entity::{decode_entities_with, EntityMap};
 use crate::error::{SaxError, SaxResult};
 use crate::event::{EndTag, Event, NodeId, StartTag};
+use crate::scan;
 
 /// Read granularity of the internal buffer.
 const CHUNK: usize = 64 * 1024;
@@ -35,8 +36,15 @@ pub struct SaxReader<R> {
     eof: bool,
     /// Absolute stream offset of `buf[0]`.
     base: u64,
-    /// Names of currently open elements (the paper's *active nodes*).
-    open: Vec<String>,
+    /// Names of currently open elements (the paper's *active nodes*),
+    /// concatenated into one reusable byte stack: `open_names[open_offsets[i]..
+    /// open_offsets[i + 1]]` is the validated-UTF-8 name of the `i`-th open
+    /// element. Pushing a start tag appends bytes instead of allocating an
+    /// owned `String` per element; `String`s are only materialized on error
+    /// paths.
+    open_names: Vec<u8>,
+    /// Start offset of each open element's name within `open_names`.
+    open_offsets: Vec<usize>,
     next_id: u64,
     root_seen: bool,
     /// The previous event was a synthetic empty-tag end that borrowed its
@@ -108,7 +116,8 @@ impl<R: Read> SaxReader<R> {
             pos: 0,
             eof: false,
             base: 0,
-            open: Vec::new(),
+            open_names: Vec::new(),
+            open_offsets: Vec::new(),
             next_id: 0,
             root_seen: false,
             pending_pop: false,
@@ -132,7 +141,33 @@ impl<R: Read> SaxReader<R> {
 
     /// Current element nesting depth (number of open elements).
     pub fn depth(&self) -> u32 {
-        self.open.len() as u32
+        self.open_offsets.len() as u32
+    }
+
+    /// Pushes an open element name (already validated as UTF-8) from
+    /// `buf[range]` onto the reusable name stack.
+    fn push_open(&mut self, range: (usize, usize)) {
+        self.open_offsets.push(self.open_names.len());
+        self.open_names
+            .extend_from_slice(&self.buf[range.0..range.1]);
+    }
+
+    /// Pops the innermost open element name.
+    fn pop_open(&mut self) {
+        if let Some(off) = self.open_offsets.pop() {
+            self.open_names.truncate(off);
+        }
+    }
+
+    /// Name bytes of the innermost open element, if any.
+    fn last_open(&self) -> Option<&[u8]> {
+        self.open_offsets.last().map(|&off| &self.open_names[off..])
+    }
+
+    /// Name of the innermost open element as a `&str`.
+    fn last_open_str(&self) -> Option<&str> {
+        self.last_open()
+            .map(|bytes| std::str::from_utf8(bytes).expect("open names are validated UTF-8"))
     }
 
     /// Number of events emitted so far. Together with
@@ -146,15 +181,17 @@ impl<R: Read> SaxReader<R> {
     #[allow(clippy::should_implement_trait)]
     pub fn next_event(&mut self) -> SaxResult<Option<Event<'_>>> {
         if self.pending_pop {
-            self.open.pop();
+            self.pop_open();
             self.pending_pop = false;
         }
         if self.pending_empty_end {
             self.pending_empty_end = false;
             self.pending_pop = true;
-            let level = self.open.len() as u32;
+            let level = self.open_offsets.len() as u32;
             self.events += 1;
-            let name = self.open.last().expect("empty-tag end with empty stack");
+            let name = self
+                .last_open_str()
+                .expect("empty-tag end with empty stack");
             return Ok(Some(Event::End(EndTag { name, level })));
         }
         loop {
@@ -165,9 +202,9 @@ impl<R: Read> SaxReader<R> {
                     continue;
                 }
                 Scanned::Eof => {
-                    if let Some(name) = self.open.last() {
+                    if let Some(name) = self.last_open_str() {
                         return Err(SaxError::UnexpectedEof {
-                            open_element: Some(name.clone()),
+                            open_element: Some(name.to_string()),
                         });
                     }
                     if !self.root_seen {
@@ -181,18 +218,19 @@ impl<R: Read> SaxReader<R> {
                     self_closing,
                     offset,
                 } => {
-                    // Validate UTF-8 and copy the name before mutating state.
-                    let name_str = self.str_at(name)?.to_string();
+                    // Validate UTF-8 before mutating state. Only the error
+                    // path materializes an owned name.
+                    self.str_at(name)?;
                     self.str_at(attr)?;
-                    if self.open.is_empty() && self.root_seen {
+                    if self.open_offsets.is_empty() && self.root_seen {
                         return Err(SaxError::MultipleRoots {
                             offset,
-                            name: name_str,
+                            name: self.str_at(name)?.to_string(),
                         });
                     }
-                    self.open.push(name_str);
+                    self.push_open(name);
                     self.root_seen = true;
-                    let level = self.open.len() as u32;
+                    let level = self.open_offsets.len() as u32;
                     let id = NodeId::new(self.next_id);
                     self.next_id += 1;
                     self.pending_empty_end = self_closing;
@@ -211,30 +249,30 @@ impl<R: Read> SaxReader<R> {
                 }
                 Scanned::End { name, offset } => {
                     let found = self.str_at(name)?;
-                    match self.open.last() {
+                    match self.last_open() {
                         None => {
                             return Err(SaxError::UnexpectedEndTag {
                                 offset,
                                 found: found.to_string(),
                             })
                         }
-                        Some(expected) if expected != found => {
+                        Some(expected) if expected != found.as_bytes() => {
                             return Err(SaxError::MismatchedTag {
                                 offset,
-                                expected: expected.clone(),
+                                expected: self.last_open_str().expect("checked").to_string(),
                                 found: found.to_string(),
                             })
                         }
                         Some(_) => {}
                     }
-                    let level = self.open.len() as u32;
-                    self.open.pop();
+                    let level = self.open_offsets.len() as u32;
+                    self.pop_open();
                     self.events += 1;
                     let name = str_unchecked(&self.buf, name);
                     return Ok(Some(Event::End(EndTag { name, level })));
                 }
                 Scanned::Text { range, cdata } => {
-                    if self.open.is_empty() {
+                    if self.open_offsets.is_empty() {
                         // Only whitespace may appear outside the root.
                         let bytes = &self.buf[range.0..range.1];
                         if bytes.iter().all(|b| b.is_ascii_whitespace()) {
@@ -313,7 +351,7 @@ impl<R: Read> SaxReader<R> {
         let mut searched = 0;
         let end = loop {
             let hay = &self.buf[self.pos..];
-            if let Some(i) = hay[searched..].iter().position(|&b| b == b'<') {
+            if let Some(i) = scan::memchr(b'<', &hay[searched..]) {
                 break searched + i;
             }
             searched = hay.len();
@@ -345,7 +383,7 @@ impl<R: Read> SaxReader<R> {
             .ok_or_else(|| self.syntax_at(offset, "unterminated end tag"))?;
         let start = self.pos + 2;
         let mut end = self.pos + gt;
-        while start < end && self.buf[end - 1].is_ascii_whitespace() {
+        while start < end && scan::is_space(self.buf[end - 1]) {
             end -= 1;
         }
         self.validate_name(start, end, offset)?;
@@ -381,19 +419,21 @@ impl<R: Read> SaxReader<R> {
         let mut depth = 0usize;
         let mut rel = 2;
         loop {
-            while self.pos + rel < self.buf.len() {
-                match self.buf[self.pos + rel] {
+            while let Some(i) = scan::memchr3(b'[', b']', b'>', &self.buf[self.pos + rel..]) {
+                let at = self.pos + rel + i;
+                match self.buf[at] {
                     b'[' => depth += 1,
                     b']' => depth = depth.saturating_sub(1),
                     b'>' if depth == 0 => {
-                        let range = (self.pos + 2, self.pos + rel);
-                        self.pos += rel + 1;
+                        let range = (self.pos + 2, at);
+                        self.pos = at + 1;
                         return Ok(Scanned::Doctype { range });
                     }
                     _ => {}
                 }
-                rel += 1;
+                rel = at - self.pos + 1;
             }
+            rel = self.buf.len() - self.pos;
             self.check_markup_len(offset)?;
             if self.eof {
                 return Err(self.syntax_at(offset, "unterminated `<!` declaration"));
@@ -410,15 +450,9 @@ impl<R: Read> SaxReader<R> {
         let content = (self.pos + 2, self.pos + end);
         // Split target from data at the first whitespace.
         let bytes = &self.buf[content.0..content.1];
-        let split = bytes
-            .iter()
-            .position(|b| b.is_ascii_whitespace())
-            .unwrap_or(bytes.len());
+        let split = scan::first_space(bytes).unwrap_or(bytes.len());
         let target = (content.0, content.0 + split);
-        let mut data_start = content.0 + split;
-        while data_start < content.1 && self.buf[data_start].is_ascii_whitespace() {
-            data_start += 1;
-        }
+        let data_start = content.0 + split + scan::space_run_len(&bytes[split..]);
         let data = (data_start, content.1);
         self.validate_name(target.0, target.1, offset)?;
         self.pos += end + 2;
@@ -427,35 +461,43 @@ impl<R: Read> SaxReader<R> {
 
     fn scan_start_tag(&mut self) -> SaxResult<Scanned> {
         let offset = self.offset();
-        // Find the closing `>` outside quoted attribute values.
+        // Find the closing `>` outside quoted attribute values: jump from
+        // delimiter to delimiter (`>`, `"`, `'`, `<` — then the matching
+        // close quote while inside a value) instead of walking bytes.
         let mut rel = 1;
         let mut quote: Option<u8> = None;
         let gt = loop {
             let mut found = None;
             while self.pos + rel < self.buf.len() {
-                let b = self.buf[self.pos + rel];
+                let hay = &self.buf[self.pos + rel..];
                 match quote {
-                    Some(q) => {
-                        if b == q {
+                    Some(q) => match scan::memchr(q, hay) {
+                        Some(i) => {
                             quote = None;
+                            rel += i + 1;
                         }
-                    }
-                    None => match b {
-                        b'"' | b'\'' => quote = Some(b),
-                        b'>' => {
-                            found = Some(rel);
-                            break;
-                        }
-                        b'<' => {
-                            return Err(self.syntax_at(
-                                self.base + (self.pos + rel) as u64,
-                                "`<` inside a tag",
-                            ))
-                        }
-                        _ => {}
+                        None => rel += hay.len(),
+                    },
+                    None => match scan::tag_delim(hay) {
+                        Some(i) => match hay[i] {
+                            b'>' => {
+                                found = Some(rel + i);
+                                break;
+                            }
+                            b'<' => {
+                                return Err(self.syntax_at(
+                                    self.base + (self.pos + rel + i) as u64,
+                                    "`<` inside a tag",
+                                ))
+                            }
+                            q => {
+                                quote = Some(q);
+                                rel += i + 1;
+                            }
+                        },
+                        None => rel += hay.len(),
                     },
                 }
-                rel += 1;
             }
             if let Some(g) = found {
                 break g;
@@ -473,14 +515,9 @@ impl<R: Read> SaxReader<R> {
         if self_closing {
             interior_end -= 1;
         }
-        // Parse the name.
-        let mut name_end = interior_start;
-        while name_end < interior_end
-            && !self.buf[name_end].is_ascii_whitespace()
-            && self.buf[name_end] != b'/'
-        {
-            name_end += 1;
-        }
+        // The name is the leading run of name characters (bulk-skipped via
+        // the byte-class table); anything after it is attribute text.
+        let name_end = interior_start + scan::name_run_len(&self.buf[interior_start..interior_end]);
         self.validate_name(interior_start, name_end, offset)?;
         let name = (interior_start, name_end);
         let attr = (name_end, interior_end);
@@ -501,41 +538,33 @@ impl<R: Read> SaxReader<R> {
         let mut names: Vec<&[u8]> = Vec::new();
         let mut i = 0;
         while i < bytes.len() {
-            if bytes[i].is_ascii_whitespace() {
-                i += 1;
-                continue;
+            i += scan::space_run_len(&bytes[i..]);
+            if i >= bytes.len() {
+                break;
             }
             let name_start = i;
-            if !is_name_start(bytes[i]) {
+            if !scan::is_name_start(bytes[i]) {
                 return Err(self.syntax_at(offset, "malformed attribute name"));
             }
-            while i < bytes.len() && is_name_char(bytes[i]) {
-                i += 1;
-            }
+            i += scan::name_run_len(&bytes[i..]);
             let name = &bytes[name_start..i];
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
+            i += scan::space_run_len(&bytes[i..]);
             if i >= bytes.len() || bytes[i] != b'=' {
                 return Err(self.syntax_at(offset, "attribute without `=`"));
             }
             i += 1;
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
+            i += scan::space_run_len(&bytes[i..]);
             if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
                 return Err(self.syntax_at(offset, "attribute value must be quoted"));
             }
             let q = bytes[i];
             i += 1;
             let value_start = i;
-            while i < bytes.len() && bytes[i] != q {
-                i += 1;
+            match scan::memchr(q, &bytes[i..]) {
+                Some(p) => i += p,
+                None => return Err(self.syntax_at(offset, "unterminated attribute value")),
             }
-            if i >= bytes.len() {
-                return Err(self.syntax_at(offset, "unterminated attribute value"));
-            }
-            if bytes[value_start..i].contains(&b'<') {
+            if scan::memchr(b'<', &bytes[value_start..i]).is_some() {
                 return Err(self.syntax_at(offset, "`<` in attribute value"));
             }
             i += 1;
@@ -552,7 +581,10 @@ impl<R: Read> SaxReader<R> {
 
     fn validate_name(&self, start: usize, end: usize, offset: u64) -> SaxResult<()> {
         let bytes = &self.buf[start..end];
-        if bytes.is_empty() || !is_name_start(bytes[0]) || !bytes.iter().all(|&b| is_name_char(b)) {
+        if bytes.is_empty()
+            || !scan::is_name_start(bytes[0])
+            || scan::name_run_len(bytes) != bytes.len()
+        {
             return Err(self.syntax_at(offset, "invalid name"));
         }
         Ok(())
@@ -572,8 +604,13 @@ impl<R: Read> SaxReader<R> {
             return Ok(());
         }
         if self.pos >= CHUNK || self.pos == self.buf.len() {
+            // Compact: slide the unconsumed tail to the front. A plain
+            // `copy_within` + `truncate` — unlike `drain(..pos)` there is
+            // no iterator/drop machinery, just one overlapping memmove.
             self.base += self.pos as u64;
-            self.buf.drain(..self.pos);
+            let len = self.buf.len();
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(len - self.pos);
             self.pos = 0;
         }
         let old = self.buf.len();
@@ -611,7 +648,7 @@ impl<R: Read> SaxReader<R> {
         loop {
             let hay = &self.buf[self.pos..];
             if from < hay.len() {
-                if let Some(i) = hay[from..].iter().position(|&b| b == byte) {
+                if let Some(i) = scan::memchr(byte, &hay[from..]) {
                     return Ok(Some(from + i));
                 }
                 from = hay.len();
@@ -631,7 +668,7 @@ impl<R: Read> SaxReader<R> {
         loop {
             let hay = &self.buf[self.pos..];
             if hay.len() >= from + needle.len() {
-                if let Some(i) = hay[from..].windows(needle.len()).position(|w| w == needle) {
+                if let Some(i) = scan::find_seq(needle, &hay[from..]) {
                     return Ok(Some(from + i));
                 }
                 from = hay.len() + 1 - needle.len();
@@ -819,14 +856,6 @@ impl Default for FeedReader {
 /// Re-slices a range already validated as UTF-8.
 fn str_unchecked(buf: &[u8], range: (usize, usize)) -> &str {
     std::str::from_utf8(&buf[range.0..range.1]).expect("range was validated as UTF-8")
-}
-
-fn is_name_start(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
-}
-
-fn is_name_char(b: u8) -> bool {
-    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
 }
 
 /// Largest prefix length of `s` that neither splits a UTF-8 character nor

@@ -162,3 +162,63 @@ fn structural_errors_have_precise_variants() {
         Err(SaxError::UnknownEntity { name, .. }) if name == "nbsp"
     ));
 }
+
+/// Compaction regression: the reader slides unconsumed bytes to the
+/// front of its buffer (`copy_within` + `truncate`) once consumed bytes
+/// pile up, and `base` must absorb exactly what was discarded so every
+/// reported offset stays absolute. A document several buffer-chunks long
+/// parsed through a tiny-chunk reader exercises the compaction path on
+/// every refill; the offsets of all start tags must match the positions
+/// found in the raw bytes, and the final reader offset must equal the
+/// document length.
+#[test]
+fn compaction_preserves_offset_accounting_across_refills() {
+    use std::io::Read;
+
+    struct SmallChunks<'a>(&'a [u8]);
+    impl Read for SmallChunks<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.0.len().min(out.len()).min(41);
+            out[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    // ~200 KB (vs the 64 KB internal chunk): long text runs force
+    // mid-text refills, so compaction fires with a non-empty tail too.
+    let mut xml = Vec::new();
+    xml.extend_from_slice(b"<list>");
+    for i in 0..2500 {
+        xml.extend_from_slice(format!("<item n=\"{i}\">").as_bytes());
+        xml.extend_from_slice("x".repeat(60).as_bytes());
+        xml.extend_from_slice(b"</item>");
+    }
+    xml.extend_from_slice(b"</list>");
+
+    let mut expected = Vec::new();
+    let mut at = 0;
+    while let Some(p) = xml[at..].windows(5).position(|w| w == b"<item") {
+        expected.push((at + p) as u64);
+        at += p + 5;
+    }
+    assert_eq!(expected.len(), 2500);
+
+    for tiny in [false, true] {
+        let mut reader: SaxReader<Box<dyn Read>> = if tiny {
+            SaxReader::new(Box::new(SmallChunks(&xml)))
+        } else {
+            SaxReader::new(Box::new(&xml[..]))
+        };
+        let mut seen = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            if let Event::Start(tag) = &e {
+                if tag.name() == "item" {
+                    seen.push(tag.offset());
+                }
+            }
+        }
+        assert_eq!(seen, expected, "tiny-chunk reads: {tiny}");
+        assert_eq!(reader.offset(), xml.len() as u64, "tiny: {tiny}");
+    }
+}

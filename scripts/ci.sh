@@ -65,4 +65,18 @@ if [ "$OBS_SMOKE" != 0 ]; then
         --scale "${OBS_SMOKE_SCALE:-0.05}" --repeats 9
 fi
 
+# Scanner smoke: the SWAR/SSE2 scan paths must agree with the scalar
+# reference on real Figure-5 data (the ablation asserts this before
+# timing) and hold their perf claim (text+terminator microbench >= 2x,
+# measurable e2e win on at least one dataset, min-of-repeats). Scale
+# with SCAN_SMOKE_SCALE; set SCAN_SMOKE=0 to skip the stage.
+SCAN_SMOKE="${SCAN_SMOKE:-1}"
+if [ "$SCAN_SMOKE" != 0 ]; then
+    echo "==> scan smoke: scalar-vs-SWAR differential + ablation gate"
+    cargo build --release -p twigm-bench
+    SCAN_ABLATION_GATE=2 target/release/ablation_scanner \
+        --scale "${SCAN_SMOKE_SCALE:-0.05}" --repeats 7 \
+        --json target/BENCH_scanner.json
+fi
+
 echo "CI green."
