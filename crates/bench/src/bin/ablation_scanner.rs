@@ -3,9 +3,9 @@
 //! replaced, on the three Figure-5 datasets.
 //!
 //! Three levels are measured, each with the vector dispatch enabled and
-//! with `scan::set_force_scalar(true)` (which routes every call to the
-//! pre-SWAR reference code: `iter().position` byte loops and the
-//! `windows(n)` substring scan):
+//! with the scalar mode forced via `scan::ScalarGuard` (which routes
+//! every call to the pre-SWAR reference code: `iter().position` byte
+//! loops and the `windows(n)` substring scan):
 //!
 //! * **text scan** — successive [`scan::memchr`]`(b'<', ..)` hops across
 //!   the whole document: the `scan_text` hot loop that finds every
@@ -237,12 +237,12 @@ fn main() {
         let (_, vector_boundaries) = text_scan_pass(&xml);
         let (_, vector_hits) = terminator_scan_pass(&xml);
         let (_, vector_events) = e2e_pass(&xml);
-        scan::set_force_scalar(true);
+        let guard = scan::ScalarGuard::force(true);
         let scalar_walk = structural_walk(&xml);
         let (_, scalar_boundaries) = text_scan_pass(&xml);
         let (_, scalar_hits) = terminator_scan_pass(&xml);
         let (_, scalar_events) = e2e_pass(&xml);
-        scan::set_force_scalar(false);
+        drop(guard);
         assert_eq!(
             vector_walk,
             scalar_walk,
@@ -263,16 +263,18 @@ fn main() {
         let mut term_vector = Vec::with_capacity(args.repeats);
         let mut e2e_scalar = Vec::with_capacity(args.repeats);
         let mut e2e_vector = Vec::with_capacity(args.repeats);
+        let guard = scan::ScalarGuard::force(false);
         for _ in 0..args.repeats {
-            scan::set_force_scalar(true);
+            guard.set(true);
             text_scalar.push(text_scan_pass(&xml).0);
             term_scalar.push(terminator_scan_pass(&xml).0);
             e2e_scalar.push(e2e_pass(&xml).0);
-            scan::set_force_scalar(false);
+            guard.set(false);
             text_vector.push(text_scan_pass(&xml).0);
             term_vector.push(terminator_scan_pass(&xml).0);
             e2e_vector.push(e2e_pass(&xml).0);
         }
+        drop(guard);
 
         let r = DatasetResult {
             name: dataset.name(),

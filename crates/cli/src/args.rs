@@ -68,6 +68,10 @@ pub struct Args {
     pub time: bool,
     /// Filtering mode: report each matching query once (with `-q`).
     pub filter: bool,
+    /// Worker threads. 1 (default) is the untouched serial path; above
+    /// that the scan runs pipelined on a producer thread and union
+    /// queries are sharded across workers.
+    pub threads: usize,
 }
 
 const HELP: &str = "\
@@ -103,6 +107,12 @@ OPTIONS:
                         machine engines only, --ids/--count output
         --progress      print throughput heartbeats to stderr while
                         streaming
+        --threads N     parallel pipelined execution (default 1 = serial):
+                        the XML scan moves to a producer thread feeding
+                        batched events through a bounded queue, and a
+                        union query's branches are sharded over N-1
+                        evaluator threads; output is byte-identical to
+                        the serial run; machine engines, --ids/--count
         --time          print elapsed time to stderr
     -h, --help          show this help
 
@@ -121,6 +131,7 @@ impl Args {
             progress: false,
             time: false,
             filter: false,
+            threads: 1,
         };
         let mut positional: Vec<String> = Vec::new();
         while let Some(arg) = argv.next() {
@@ -153,6 +164,13 @@ impl Args {
                     args.trace = Some(path);
                 }
                 "--progress" => args.progress = true,
+                "--threads" => {
+                    let n = argv.next().ok_or("--threads requires a value")?;
+                    args.threads =
+                        n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--threads expects a positive integer, got `{n}`")
+                        })?;
+                }
                 "--filter" => args.filter = true,
                 "--time" => args.time = true,
                 "--engine" => {
@@ -213,6 +231,27 @@ impl Args {
             }
             if args.queries.len() > 1 || args.filter {
                 return Err("--trace supports a single query only".into());
+            }
+        }
+        if args.threads > 1 {
+            if matches!(
+                args.engine,
+                EngineChoice::Naive | EngineChoice::Dfa | EngineChoice::Dom
+            ) {
+                return Err("--threads requires a machine engine (auto|twig|path|branch)".into());
+            }
+            if matches!(args.output, OutputMode::Fragments | OutputMode::Values) {
+                return Err("--threads supports --ids/--count output only".into());
+            }
+            if args.queries.len() > 1 || args.filter {
+                return Err(
+                    "--threads supports a single query (unions via `|` are sharded); \
+                     tagged -q output stays serial"
+                        .into(),
+                );
+            }
+            if args.trace.is_some() || args.progress {
+                return Err("--threads cannot be combined with --trace/--progress".into());
             }
         }
         Ok(Some(args))
@@ -293,6 +332,36 @@ mod tests {
         assert!(parse(&["--trace", "t.json", "--fragments", "//a"]).is_err());
         assert!(parse(&["--trace", "t.json", "-q", "//a", "-q", "//b"]).is_err());
         assert!(parse(&["--trace", "t.json", "--filter", "-q", "//a"]).is_err());
+    }
+
+    #[test]
+    fn threads_parse_and_default_to_serial() {
+        assert_eq!(parse(&["//a"]).unwrap().unwrap().threads, 1);
+        assert_eq!(
+            parse(&["--threads", "4", "//a"]).unwrap().unwrap().threads,
+            4
+        );
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0", "//a"]).is_err());
+        assert!(parse(&["--threads", "x", "//a"]).is_err());
+    }
+
+    #[test]
+    fn threads_restrictions_are_enforced() {
+        assert!(parse(&["--threads", "2", "--engine", "dom", "//a"]).is_err());
+        assert!(parse(&["--threads", "2", "--engine", "naive", "//a"]).is_err());
+        assert!(parse(&["--threads", "2", "--fragments", "//a"]).is_err());
+        assert!(parse(&["--threads", "2", "-q", "//a", "-q", "//b"]).is_err());
+        assert!(parse(&["--threads", "2", "--filter", "-q", "//a"]).is_err());
+        assert!(parse(&["--threads", "2", "--trace", "t.json", "//a"]).is_err());
+        assert!(parse(&["--threads", "2", "--progress", "//a"]).is_err());
+        // --threads 1 is the serial path: everything still combines.
+        assert!(parse(&["--threads", "1", "--progress", "//a"])
+            .unwrap()
+            .is_some());
+        assert!(parse(&["--threads", "2", "--stats=json", "-c", "//a"])
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn run_cli(args: &Args) -> Result<u64, String> {
     Ok(matches)
 }
 
-fn input(args: &Args) -> Result<Box<dyn Read>, String> {
+// `Send` so the pipelined path (`--threads`) can move the stream to the
+// producer thread; stdin and buffered files both qualify.
+fn input(args: &Args) -> Result<Box<dyn Read + Send>, String> {
     match &args.file {
         None => Ok(Box::new(std::io::stdin())),
         Some(path) if path == "-" => Ok(Box::new(std::io::stdin())),

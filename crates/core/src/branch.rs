@@ -283,13 +283,23 @@ impl<O: MachineObserver> StreamEngine for BranchM<O> {
     }
 
     fn text(&mut self, text: &str) {
+        self.text_at(text, self.depth)
+    }
+
+    /// Depth-explicit text routing for prefiltered batch streams, where
+    /// `self.depth` can lag the true document depth (see the trait doc).
+    fn text_at(&mut self, text: &str, level: u32) {
         for &v in self.machine.text_nodes() {
             if let Some(state) = self.states[v].as_mut() {
-                if state.level == self.depth {
+                if state.level == level {
                     state.text.push_str(text);
                 }
             }
         }
+    }
+
+    fn relevance(&self) -> crate::relevance::Relevance {
+        crate::relevance::machine_relevance(&self.machine)
     }
 
     fn end_element(&mut self, tag: &str, level: u32) {

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::io::Read;
 
+use twigm_sax::batch::{BatchEventKind, EventBatch};
 use twigm_sax::{Attribute, NodeId, SaxError, SaxHandler, SaxReader, Symbol, SymbolTable};
 use twigm_xpath::Path;
 
@@ -10,6 +11,7 @@ use crate::branch::BranchM;
 use crate::machine::{Machine, MachineError};
 use crate::observe::{MachineObserver, NoopObserver};
 use crate::path::PathM;
+use crate::relevance::{machine_relevance, Relevance};
 use crate::stats::EngineStats;
 use crate::twig::TwigM;
 
@@ -74,6 +76,57 @@ pub trait StreamEngine {
         true
     }
 
+    /// Character data with the *document* level of the containing
+    /// element made explicit. The pipelined batch path uses this entry
+    /// point: engines track the current depth internally, but they only
+    /// advance it on events they actually receive, so after a prefilter
+    /// has skipped a subtree the internal depth can go stale. Batches
+    /// record each text chunk's containing level, and depth-tracking
+    /// engines override this to route on it directly. The default
+    /// ignores the hint and falls back to [`StreamEngine::text`].
+    fn text_at(&mut self, text: &str, level: u32) {
+        let _ = level;
+        self.text(text)
+    }
+
+    /// Applies one pre-parsed event batch via the `_sym` entry points.
+    ///
+    /// The batch must have been produced under a plan built over *this*
+    /// engine's symbol table (see `BatchPlan` in the sax crate) — the
+    /// symbols stored in the batch are dispatched without re-hashing the
+    /// tag names. The default implementation is a straight replay loop;
+    /// engines normally inherit it.
+    fn apply_batch(&mut self, batch: &EventBatch) {
+        let mut attrs: Vec<Attribute<'_>> = Vec::new();
+        for event in batch.events() {
+            match event.kind {
+                BatchEventKind::Start => {
+                    attrs.clear();
+                    attrs.extend(batch.attrs_of(event));
+                    self.start_element_sym(
+                        event.sym,
+                        batch.str_of(event),
+                        &attrs,
+                        event.level,
+                        NodeId::new(event.id),
+                    );
+                }
+                BatchEventKind::End => {
+                    self.end_element_sym(event.sym, batch.str_of(event), event.level);
+                }
+                BatchEventKind::Text => self.text_at(batch.str_of(event), event.level),
+            }
+        }
+    }
+
+    /// Which symbols and stream features this engine dispatches on, for
+    /// the pipeline prefilter. The conservative default claims
+    /// everything is relevant, which disables filtering and is always
+    /// correct.
+    fn relevance(&self) -> Relevance {
+        Relevance::all()
+    }
+
     /// Drains the results decided so far, in decision order.
     fn take_results(&mut self) -> Vec<NodeId>;
 
@@ -123,6 +176,18 @@ impl<E: StreamEngine + ?Sized> StreamEngine for &mut E {
 
     fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
         (**self).end_element_sym(sym, tag, level)
+    }
+
+    fn text_at(&mut self, text: &str, level: u32) {
+        (**self).text_at(text, level)
+    }
+
+    fn apply_batch(&mut self, batch: &EventBatch) {
+        (**self).apply_batch(batch)
+    }
+
+    fn relevance(&self) -> Relevance {
+        (**self).relevance()
     }
 
     fn symbols(&self) -> Option<&SymbolTable> {
@@ -178,6 +243,18 @@ impl<E: StreamEngine + ?Sized> StreamEngine for Box<E> {
 
     fn end_element_sym(&mut self, sym: Symbol, tag: &str, level: u32) {
         (**self).end_element_sym(sym, tag, level)
+    }
+
+    fn text_at(&mut self, text: &str, level: u32) {
+        (**self).text_at(text, level)
+    }
+
+    fn apply_batch(&mut self, batch: &EventBatch) {
+        (**self).apply_batch(batch)
+    }
+
+    fn relevance(&self) -> Relevance {
+        (**self).relevance()
     }
 
     fn symbols(&self) -> Option<&SymbolTable> {
@@ -364,6 +441,26 @@ impl<O: MachineObserver> StreamEngine for Engine<O> {
             Engine::Branch(e) => e.end_element_sym(sym, tag, level),
             Engine::Twig(e) => e.end_element_sym(sym, tag, level),
         }
+    }
+
+    fn text_at(&mut self, text: &str, level: u32) {
+        match self {
+            Engine::Path(e) => e.text_at(text, level),
+            Engine::Branch(e) => e.text_at(text, level),
+            Engine::Twig(e) => e.text_at(text, level),
+        }
+    }
+
+    fn apply_batch(&mut self, batch: &EventBatch) {
+        match self {
+            Engine::Path(e) => e.apply_batch(batch),
+            Engine::Branch(e) => e.apply_batch(batch),
+            Engine::Twig(e) => e.apply_batch(batch),
+        }
+    }
+
+    fn relevance(&self) -> Relevance {
+        machine_relevance(self.machine())
     }
 
     fn symbols(&self) -> Option<&SymbolTable> {

@@ -68,7 +68,9 @@ pub mod machine;
 pub mod multi;
 pub mod observe;
 pub mod path;
+pub mod pipeline;
 pub mod query;
+pub mod relevance;
 pub mod stats;
 pub mod twig;
 
@@ -81,6 +83,10 @@ pub use machine::{Machine, MachineError};
 pub use multi::MultiTwigM;
 pub use observe::{MachineObserver, NoopObserver};
 pub use path::PathM;
+pub use pipeline::{
+    run_engine_pipelined, run_multi_sharded, PipelineOptions, PipelineStats, ShardedOutcome,
+};
 pub use query::QueryTree;
+pub use relevance::{machine_relevance, Relevance};
 pub use stats::EngineStats;
 pub use twig::TwigM;

@@ -410,13 +410,42 @@ impl<O: MachineObserver> MultiTwigM<O> {
 
     /// Character data, routed through the shared text index.
     pub fn text(&mut self, text: &str) {
-        let depth = self.depth;
+        self.text_at(text, self.depth)
+    }
+
+    /// Character data with an explicit containing level — the entry
+    /// point for prefiltered batch streams, where the internally tracked
+    /// depth can lag behind the document (skipped subtrees never update
+    /// it).
+    pub fn text_at(&mut self, text: &str, level: u32) {
         for &(qid, v) in &self.text_nodes {
             if let Some(top) = self.queries[qid].stacks[v].last_mut() {
-                if top.level == depth {
+                if top.level == level {
                     top.text.push_str(text);
                 }
             }
+        }
+    }
+
+    /// Dispatch-relevance of the whole query set over the shared symbol
+    /// table: the union of every registered machine's needs. Computed
+    /// from the shared dense dispatch index, so it stays exact as
+    /// queries are added.
+    pub fn relevance(&self) -> crate::relevance::Relevance {
+        let wants_text = !self.text_nodes.is_empty();
+        let any_positional = self
+            .queries
+            .iter()
+            .any(|q| !q.machine.pos_nodes().is_empty());
+        if !self.wildcards.is_empty() || any_positional {
+            return crate::relevance::Relevance {
+                symbols: None,
+                wants_text,
+            };
+        }
+        crate::relevance::Relevance {
+            symbols: Some(self.by_sym.iter().map(|nodes| !nodes.is_empty()).collect()),
+            wants_text,
         }
     }
 
@@ -605,6 +634,14 @@ impl<O: MachineObserver> StreamEngine for MultiTwigM<O> {
 
     fn text(&mut self, text: &str) {
         MultiTwigM::text(self, text);
+    }
+
+    fn text_at(&mut self, text: &str, level: u32) {
+        MultiTwigM::text_at(self, text, level);
+    }
+
+    fn relevance(&self) -> crate::relevance::Relevance {
+        MultiTwigM::relevance(self)
     }
 
     fn end_element(&mut self, tag: &str, level: u32) {

@@ -215,6 +215,10 @@ impl<O: MachineObserver> StreamEngine for PathM<O> {
         Some(self.machine.symbols())
     }
 
+    fn relevance(&self) -> crate::relevance::Relevance {
+        crate::relevance::machine_relevance(&self.machine)
+    }
+
     fn needs_attributes(&self, _sym: Symbol) -> bool {
         // Predicate-free queries never inspect attributes.
         false

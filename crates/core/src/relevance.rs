@@ -1,0 +1,164 @@
+//! Compile-time symbol-relevance analysis for the pipeline prefilter.
+//!
+//! A compiled [`Machine`] names exactly the tags that can advance it: a
+//! start tag whose symbol is no machine node's symbol dispatches to
+//! nothing (the dense `by_sym` list is empty) and only costs the
+//! per-event bookkeeping. The batch producer can therefore drop such
+//! elements — and their text — before they ever cross the channel,
+//! provided nothing about the machine depends on *seeing* irrelevant
+//! events:
+//!
+//! * **wildcard nodes** receive every start/end event, so any wildcard
+//!   disables element skipping entirely;
+//! * **positional predicates** (`[n]`) reset and bump sibling counters
+//!   on every start event regardless of symbol, so any positional node
+//!   also disables skipping;
+//! * **text predicates** require character data, but only for elements
+//!   that are themselves query nodes (text is routed by matching the
+//!   containing element's level against a text-needing node's stack
+//!   top) — so text delivery is needed iff the machine has text nodes,
+//!   independent of element skipping.
+//!
+//! Everything else is level-deterministic: edge conditions compare the
+//! *document* levels carried in the events, which skipping does not
+//! change, and child counters (`count(...)` predicates) are incremented
+//! by dispatched child nodes, which are by definition relevant.
+
+use crate::machine::Machine;
+
+/// Which parts of the event stream an engine actually dispatches on.
+///
+/// The conservative default ([`Relevance::all`]) delivers everything and
+/// is always correct; analyses refine it.
+#[derive(Debug, Clone)]
+pub struct Relevance {
+    /// `Some(rel)`: only elements whose symbol index is set can affect
+    /// the engine (the producer still delivers `level <= 1` events so
+    /// per-document cleanup fires). `None`: every element matters.
+    pub symbols: Option<Vec<bool>>,
+    /// Whether any query node examines character data.
+    pub wants_text: bool,
+}
+
+impl Relevance {
+    /// Everything is relevant — the safe default.
+    pub fn all() -> Relevance {
+        Relevance {
+            symbols: None,
+            wants_text: true,
+        }
+    }
+}
+
+/// Derives the relevance of a single compiled machine over its own
+/// symbol table.
+pub fn machine_relevance(machine: &Machine) -> Relevance {
+    let wants_text = !machine.text_nodes().is_empty();
+    if !machine.wildcards().is_empty() || !machine.pos_nodes().is_empty() {
+        return Relevance {
+            symbols: None,
+            wants_text,
+        };
+    }
+    let mut symbols = vec![false; machine.symbols().len()];
+    for node in &machine.nodes {
+        if let Some(i) = node.sym.index() {
+            symbols[i] = true;
+        }
+    }
+    Relevance {
+        symbols: Some(symbols),
+        wants_text,
+    }
+}
+
+/// Unions `other` into `acc` (both over the *same* symbol table): an
+/// element relevant to any machine must be delivered, text wanted by any
+/// machine must be delivered.
+pub fn union_into(acc: &mut Relevance, other: &Relevance) {
+    acc.wants_text |= other.wants_text;
+    match (&mut acc.symbols, &other.symbols) {
+        (_, None) => acc.symbols = None,
+        (None, _) => {}
+        (Some(a), Some(b)) => {
+            if a.len() < b.len() {
+                a.resize(b.len(), false);
+            }
+            for (i, &flag) in b.iter().enumerate() {
+                a[i] |= flag;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twigm_xpath::parse;
+
+    fn relevance_of(query: &str) -> (Machine, Relevance) {
+        let machine = Machine::from_path(&parse(query).unwrap()).unwrap();
+        let rel = machine_relevance(&machine);
+        (machine, rel)
+    }
+
+    #[test]
+    fn plain_query_marks_exactly_its_node_symbols() {
+        let (machine, rel) = relevance_of("//a[d]//b[e]//c");
+        let symbols = rel.symbols.expect("no wildcards, no positions");
+        assert!(!rel.wants_text);
+        for name in ["a", "b", "c", "d", "e"] {
+            let sym = machine.symbols().lookup(name);
+            assert!(symbols[sym.index().unwrap()], "{name} should be relevant");
+        }
+        assert_eq!(symbols.iter().filter(|&&f| f).count(), 5);
+    }
+
+    #[test]
+    fn wildcards_disable_skipping() {
+        // A wildcard that keeps its machine node (here: the return node)
+        // receives every event.
+        let (_, rel) = relevance_of("//a/*");
+        assert!(rel.symbols.is_none());
+        let (_, rel) = relevance_of("//*[b]/c");
+        assert!(rel.symbols.is_none());
+    }
+
+    #[test]
+    fn folded_interior_wildcards_keep_skipping() {
+        // Interior `*` nodes fold into edge distance labels (machine.rs):
+        // the wildcard element itself is never dispatched, and the edge
+        // tests use the document levels carried in the events — which
+        // skipping preserves. So `//a/*/c` still prefilters on {a, c}.
+        let (machine, rel) = relevance_of("//a/*/c");
+        assert!(machine.wildcards().is_empty());
+        let symbols = rel.symbols.expect("no wildcard machine nodes");
+        assert_eq!(symbols.iter().filter(|&&f| f).count(), 2);
+    }
+
+    #[test]
+    fn positional_predicates_disable_skipping() {
+        let (_, rel) = relevance_of("/a/b[2]");
+        assert!(rel.symbols.is_none());
+    }
+
+    #[test]
+    fn text_predicates_request_text() {
+        let (_, rel) = relevance_of("//a[b = 'x']/c");
+        assert!(rel.wants_text);
+        assert!(rel.symbols.is_some());
+    }
+
+    #[test]
+    fn union_widens() {
+        let (_, mut a) = relevance_of("//a/b");
+        let (_, b) = relevance_of("//a/*");
+        assert!(a.symbols.is_some());
+        union_into(&mut a, &b);
+        assert!(a.symbols.is_none());
+        assert!(!a.wants_text);
+        let (_, text) = relevance_of("//a[b = 'x']");
+        union_into(&mut a, &text);
+        assert!(a.wants_text);
+    }
+}

@@ -590,13 +590,24 @@ impl<O: MachineObserver> StreamEngine for TwigM<O> {
     /// entry of a text-needing node, if it corresponds to the innermost
     /// open element.
     fn text(&mut self, text: &str) {
+        self.text_at(text, self.depth)
+    }
+
+    /// Depth-explicit text routing. `self.depth` only advances on events
+    /// the machine actually receives, so under a prefiltered batch
+    /// stream the caller supplies the true containing level instead.
+    fn text_at(&mut self, text: &str, level: u32) {
         for &v in self.machine.text_nodes() {
             if let Some(top) = self.stacks[v].last_mut() {
-                if top.level == self.depth {
+                if top.level == level {
                     top.text.push_str(text);
                 }
             }
         }
+    }
+
+    fn relevance(&self) -> crate::relevance::Relevance {
+        crate::relevance::machine_relevance(&self.machine)
     }
 
     /// δe via the string path.

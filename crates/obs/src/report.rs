@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use twigm::{EngineStats, StreamProgress, StreamTelemetry};
+use twigm::{EngineStats, PipelineStats, StreamProgress, StreamTelemetry};
 
 use crate::json::JsonObj;
 use crate::metrics::MetricsObserver;
@@ -31,6 +31,9 @@ pub struct StatsReport {
     pub time_to_first_result: Option<Duration>,
     /// Histograms, when the run carried a [`MetricsObserver`].
     pub metrics: Option<MetricsObserver>,
+    /// Queue-health counters, when the run used the pipelined driver
+    /// (`--threads N`).
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl StatsReport {
@@ -103,6 +106,24 @@ impl StatsReport {
             Some(m) => o.raw("histograms", &m.to_json()),
             None => o.raw("histograms", "null"),
         };
+        match &self.pipeline {
+            Some(p) => {
+                let mut po = JsonObj::new();
+                po.u64("threads", p.threads as u64)
+                    .u64("batches", p.batches)
+                    .u64("events_scanned", p.events_scanned)
+                    .u64("events_delivered", p.events_delivered)
+                    .u64("events_filtered", p.events_filtered)
+                    .u64("producer_stalls", p.producer_stalls)
+                    .u64("consumer_stalls", p.consumer_stalls)
+                    .u64("max_queue_depth", p.max_queue_depth)
+                    .u64("bytes", p.bytes);
+                o.raw("pipeline", &po.finish());
+            }
+            None => {
+                o.raw("pipeline", "null");
+            }
+        };
         o.finish()
     }
 
@@ -167,6 +188,22 @@ impl StatsReport {
             None => format!("{}", s.peak_entries),
         };
         line("peak entries", peak);
+        if let Some(p) = &self.pipeline {
+            line(
+                "pipeline",
+                format!(
+                    "{} thread(s), {} batch(es), {} of {} event(s) delivered ({} filtered)",
+                    p.threads, p.batches, p.events_delivered, p.events_scanned, p.events_filtered
+                ),
+            );
+            line(
+                "queue",
+                format!(
+                    "peak depth {}, {} producer stall(s), {} consumer stall(s)",
+                    p.max_queue_depth, p.producer_stalls, p.consumer_stalls
+                ),
+            );
+        }
         if let Some(m) = &self.metrics {
             line(
                 "stack depth",
@@ -275,6 +312,7 @@ mod tests {
             duration: Duration::from_millis(10),
             time_to_first_result: Some(Duration::from_millis(2)),
             metrics: None,
+            pipeline: None,
         }
     }
 
@@ -316,6 +354,38 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn pipelined_reports_carry_the_queue_counters() {
+        let mut report = sample();
+        assert!(report.to_json().contains(r#""pipeline":null"#));
+        report.pipeline = Some(PipelineStats {
+            threads: 2,
+            batches: 4,
+            events_scanned: 10,
+            events_delivered: 8,
+            events_filtered: 2,
+            producer_stalls: 1,
+            consumer_stalls: 3,
+            max_queue_depth: 2,
+            bytes: 2048,
+        });
+        let json = report.to_json();
+        for needle in [
+            r#""pipeline":{"threads":2"#,
+            r#""events_scanned":10"#,
+            r#""events_delivered":8"#,
+            r#""events_filtered":2"#,
+            r#""producer_stalls":1"#,
+            r#""consumer_stalls":3"#,
+            r#""max_queue_depth":2"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let text = report.to_pretty();
+        assert!(text.contains("8 of 10 event(s) delivered"), "{text}");
+        assert!(text.contains("peak depth 2"), "{text}");
     }
 
     #[test]

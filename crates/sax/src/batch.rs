@@ -1,0 +1,507 @@
+//! Batched event stream for the parallel pipeline.
+//!
+//! The serial driver interleaves scanning and evaluation one event at a
+//! time. The pipelined driver instead runs the [`SaxReader`] on a
+//! producer thread that packs events into fixed-capacity
+//! [`EventBatch`]es — interned-symbol records in a flat arena, no
+//! per-event allocation — and ships whole batches across a bounded
+//! channel, so the per-event synchronization cost is amortized over
+//! thousands of events.
+//!
+//! A [`BatchPlan`] tells the producer everything it needs to know about
+//! the consuming engine *without touching the engine*: a clone of the
+//! engine's frozen [`SymbolTable`] for per-event lookup, which symbols
+//! need their attributes decoded, and the **symbol-relevance prefilter**
+//! — the set of symbols that can match any query node. Elements whose
+//! symbol is irrelevant (and everything inside them that is not itself
+//! relevant) are counted and dropped at the producer, so engines never
+//! dispatch on them.
+//!
+//! Prefilter rules that keep filtered delivery equivalent to the serial
+//! stream:
+//!
+//! * events at `level <= 1` (the document root) are always delivered —
+//!   engines reset per-document state on the root's end event;
+//! * an end tag is delivered iff its start tag was (the producer keeps a
+//!   per-open-element delivery stack), so engines always see balanced
+//!   pairs with their original document levels;
+//! * a text event is delivered only when the plan wants text *and* the
+//!   innermost open element was delivered. Each text record carries the
+//!   level of that element explicitly, because an engine's internal
+//!   depth tracker only advances on *delivered* events and would
+//!   otherwise misroute text that follows a skipped subtree.
+
+use std::io::Read;
+
+use crate::error::SaxResult;
+use crate::event::{Attribute, Event, StartTag};
+use crate::reader::SaxReader;
+use crate::symbol::{Symbol, SymbolTable};
+
+/// Default number of events per batch: large enough to amortize channel
+/// synchronization to noise, small enough that a handful of in-flight
+/// batches stay cache- and memory-friendly.
+pub const DEFAULT_BATCH_EVENTS: usize = 4096;
+
+/// What a [`BatchEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchEventKind {
+    /// `startElement(tag, level, id)`.
+    Start,
+    /// `endElement(tag, level)`.
+    End,
+    /// Character data; `level` is the level of the innermost open
+    /// element (the element that directly contains the text).
+    Text,
+}
+
+/// One event in a batch: fixed-size record, all strings in the batch
+/// arena.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEvent {
+    /// Event kind.
+    pub kind: BatchEventKind,
+    /// Element level for start/end; containing-element level for text.
+    pub level: u32,
+    /// The tag symbol under the plan's table ([`Symbol::UNKNOWN`] for
+    /// text events and uninterned tags).
+    pub sym: Symbol,
+    /// Pre-order node id (start events only).
+    pub id: u64,
+    /// Arena range of the tag name (start/end) or text content.
+    text: (u32, u32),
+    /// Index range into the batch attribute table (start events only).
+    attrs: (u32, u32),
+}
+
+/// One decoded attribute, as arena ranges.
+#[derive(Debug, Clone, Copy)]
+struct AttrSpan {
+    name: (u32, u32),
+    value: (u32, u32),
+}
+
+/// A fixed-capacity run of events with all variable-length data (names,
+/// text, decoded attributes) packed into one reusable string arena.
+///
+/// Batches are recycled: [`EventBatch::clear`] keeps the allocations, so
+/// a steady-state pipeline performs no per-batch heap traffic.
+#[derive(Debug, Default)]
+pub struct EventBatch {
+    events: Vec<BatchEvent>,
+    arena: String,
+    attrs: Vec<AttrSpan>,
+    /// Reader events consumed while producing this batch (delivered +
+    /// filtered).
+    pub scanned: u64,
+    /// Events dropped by the prefilter (or ignored comment/PI events)
+    /// while producing this batch.
+    pub filtered: u64,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> EventBatch {
+        EventBatch::default()
+    }
+
+    /// Clears the batch, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.arena.clear();
+        self.attrs.clear();
+        self.scanned = 0;
+        self.filtered = 0;
+    }
+
+    /// Number of delivered events in the batch.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event records.
+    pub fn events(&self) -> &[BatchEvent] {
+        &self.events
+    }
+
+    /// The tag name (start/end) or text content of an event.
+    pub fn str_of(&self, event: &BatchEvent) -> &str {
+        &self.arena[event.text.0 as usize..event.text.1 as usize]
+    }
+
+    /// The decoded attributes of a start event (empty unless the plan
+    /// marked the symbol as needing them).
+    pub fn attrs_of(&self, event: &BatchEvent) -> impl Iterator<Item = Attribute<'_>> {
+        self.attrs[event.attrs.0 as usize..event.attrs.1 as usize]
+            .iter()
+            .map(|span| Attribute {
+                name: &self.arena[span.name.0 as usize..span.name.1 as usize],
+                value: std::borrow::Cow::Borrowed(
+                    &self.arena[span.value.0 as usize..span.value.1 as usize],
+                ),
+            })
+    }
+
+    fn intern(&mut self, s: &str) -> (u32, u32) {
+        let start = u32::try_from(self.arena.len()).expect("batch arena overflow");
+        self.arena.push_str(s);
+        (start, self.arena.len() as u32)
+    }
+
+    fn push_start(&mut self, sym: Symbol, tag: &StartTag<'_>, decode_attrs: bool) -> SaxResult<()> {
+        let text = self.intern(tag.name());
+        let attr_start = self.attrs.len() as u32;
+        if decode_attrs {
+            for attr in tag.attributes() {
+                let attr = attr?;
+                let name = self.intern(attr.name);
+                let value = self.intern(&attr.value);
+                self.attrs.push(AttrSpan { name, value });
+            }
+        }
+        self.events.push(BatchEvent {
+            kind: BatchEventKind::Start,
+            level: tag.level(),
+            sym,
+            id: tag.id().get(),
+            text,
+            attrs: (attr_start, self.attrs.len() as u32),
+        });
+        Ok(())
+    }
+
+    fn push_end(&mut self, sym: Symbol, name: &str, level: u32) {
+        let text = self.intern(name);
+        self.events.push(BatchEvent {
+            kind: BatchEventKind::End,
+            level,
+            sym,
+            id: 0,
+            text,
+            attrs: (0, 0),
+        });
+    }
+
+    fn push_text(&mut self, content: &str, level: u32) {
+        let text = self.intern(content);
+        self.events.push(BatchEvent {
+            kind: BatchEventKind::Text,
+            level,
+            sym: Symbol::UNKNOWN,
+            id: 0,
+            text,
+            attrs: (0, 0),
+        });
+    }
+}
+
+/// Everything the producer needs to know about the consuming engine(s),
+/// captured up front so the producer thread never touches an engine.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Snapshot of the engine's frozen interner.
+    pub table: SymbolTable,
+    /// Per-symbol "decode attributes for this start tag" flags, indexed
+    /// by [`Symbol::index`]; length equals `table.len()`.
+    pub attr_syms: Vec<bool>,
+    /// Decode attributes for uninterned tags.
+    pub attr_unknown: bool,
+    /// The relevance prefilter: `Some(rel)` delivers only elements whose
+    /// symbol index is set (plus everything at `level <= 1`); `None`
+    /// delivers every element.
+    pub relevant: Option<Vec<bool>>,
+    /// Deliver text events at all.
+    pub wants_text: bool,
+}
+
+impl BatchPlan {
+    /// A plan that delivers everything — the conservative default for
+    /// engines without a relevance analysis.
+    pub fn deliver_all(table: SymbolTable) -> BatchPlan {
+        let len = table.len();
+        BatchPlan {
+            table,
+            attr_syms: vec![true; len],
+            attr_unknown: true,
+            relevant: None,
+            wants_text: true,
+        }
+    }
+
+    fn wants_attrs(&self, sym: Symbol) -> bool {
+        match sym.index() {
+            Some(i) => self.attr_syms.get(i).copied().unwrap_or(true),
+            None => self.attr_unknown,
+        }
+    }
+
+    fn is_relevant(&self, sym: Symbol, level: u32) -> bool {
+        // The root (and anything outside it) always flows through:
+        // engines reset per-document state when the root closes.
+        if level <= 1 {
+            return true;
+        }
+        match &self.relevant {
+            None => true,
+            Some(rel) => match sym.index() {
+                Some(i) => rel.get(i).copied().unwrap_or(false),
+                None => false,
+            },
+        }
+    }
+}
+
+/// Pulls events from a [`SaxReader`] and packs them into batches under a
+/// [`BatchPlan`], applying the symbol-relevance prefilter.
+pub struct BatchProducer<R> {
+    reader: SaxReader<R>,
+    plan: BatchPlan,
+    /// Was each currently-open element delivered? Length is the current
+    /// element depth; the top gates text delivery, pops gate end tags.
+    open_delivered: Vec<bool>,
+    done: bool,
+}
+
+impl<R: Read> BatchProducer<R> {
+    /// Wraps a reader with a delivery plan.
+    pub fn new(reader: SaxReader<R>, plan: BatchPlan) -> BatchProducer<R> {
+        BatchProducer {
+            reader,
+            plan,
+            open_delivered: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Total bytes consumed from the input so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.reader.offset()
+    }
+
+    /// Total reader events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.reader.events_emitted()
+    }
+
+    /// Clears `batch` and refills it with up to `max_events` delivered
+    /// events. Returns `false` when the stream is exhausted *and* the
+    /// batch carries nothing (no events, no accounting) — the loop
+    /// `while producer.next_batch(&mut b, n)? { ... }` therefore
+    /// processes every batch including a partial final one.
+    pub fn next_batch(&mut self, batch: &mut EventBatch, max_events: usize) -> SaxResult<bool> {
+        batch.clear();
+        if self.done {
+            return Ok(false);
+        }
+        while batch.len() < max_events {
+            let Some(event) = self.reader.next_event()? else {
+                self.done = true;
+                break;
+            };
+            batch.scanned += 1;
+            match event {
+                Event::Start(tag) => {
+                    let sym = self.plan.table.lookup(tag.name());
+                    let deliver = self.plan.is_relevant(sym, tag.level());
+                    self.open_delivered.push(deliver);
+                    if deliver {
+                        let decode = self.plan.wants_attrs(sym);
+                        batch.push_start(sym, &tag, decode)?;
+                    } else {
+                        batch.filtered += 1;
+                    }
+                }
+                Event::End(tag) => {
+                    // Mirror the start's decision exactly, so engines see
+                    // balanced pairs.
+                    let deliver = self.open_delivered.pop().unwrap_or(true);
+                    if deliver {
+                        let sym = self.plan.table.lookup(tag.name());
+                        batch.push_end(sym, tag.name(), tag.level());
+                    } else {
+                        batch.filtered += 1;
+                    }
+                }
+                Event::Text(text) => {
+                    // `open_delivered.len()` is the element depth: the
+                    // level of the element that contains this text.
+                    let level = self.open_delivered.len() as u32;
+                    let deliver = self.plan.wants_text
+                        && self.open_delivered.last().copied().unwrap_or(false);
+                    if deliver {
+                        batch.push_text(&text, level);
+                    } else {
+                        batch.filtered += 1;
+                    }
+                }
+                // The serial driver ignores comments and PIs; so does the
+                // batched stream.
+                Event::Comment(_) | Event::ProcessingInstruction { .. } => {
+                    batch.filtered += 1;
+                }
+            }
+        }
+        Ok(!batch.is_empty() || batch.scanned > 0 || !self.done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan(xml: &[u8]) -> BatchPlan {
+        // Intern every tag that appears, so symbols are known.
+        let mut table = SymbolTable::new();
+        let mut reader = SaxReader::from_bytes(xml);
+        while let Some(event) = reader.next_event().unwrap() {
+            if let Event::Start(tag) = event {
+                table.intern(tag.name());
+            }
+        }
+        BatchPlan::deliver_all(table)
+    }
+
+    fn drain(xml: &[u8], plan: BatchPlan, max_events: usize) -> (Vec<String>, u64, u64) {
+        let mut producer = BatchProducer::new(SaxReader::from_bytes(xml), plan);
+        let mut batch = EventBatch::new();
+        let mut out = Vec::new();
+        let (mut scanned, mut filtered) = (0u64, 0u64);
+        while producer.next_batch(&mut batch, max_events).unwrap() {
+            scanned += batch.scanned;
+            filtered += batch.filtered;
+            for ev in batch.events() {
+                let tail = match ev.kind {
+                    BatchEventKind::Start => {
+                        let attrs: Vec<String> = batch
+                            .attrs_of(ev)
+                            .map(|a| format!("{}={}", a.name, a.value))
+                            .collect();
+                        format!(
+                            "<{} {} #{} [{}]",
+                            batch.str_of(ev),
+                            ev.level,
+                            ev.id,
+                            attrs.join(",")
+                        )
+                    }
+                    BatchEventKind::End => format!(">{} {}", batch.str_of(ev), ev.level),
+                    BatchEventKind::Text => format!("t{} {:?}", ev.level, batch.str_of(ev)),
+                };
+                out.push(tail);
+            }
+        }
+        (out, scanned, filtered)
+    }
+
+    #[test]
+    fn unfiltered_batches_carry_the_whole_stream() {
+        let xml = b"<a x=\"1\"><b>hi &amp; bye</b><c/></a>";
+        let plan = full_plan(xml);
+        let (events, scanned, filtered) = drain(xml, plan, 2);
+        assert_eq!(
+            events,
+            [
+                "<a 1 #0 [x=1]",
+                "<b 2 #1 []",
+                "t2 \"hi & bye\"",
+                ">b 2",
+                "<c 2 #2 []",
+                ">c 2",
+                ">a 1",
+            ]
+        );
+        assert_eq!(scanned, 7);
+        assert_eq!(filtered, 0);
+    }
+
+    #[test]
+    fn prefilter_drops_irrelevant_subtrees_but_keeps_levels() {
+        let xml = b"<a><skip><b/>deep</skip>text<b/></a>";
+        let mut plan = full_plan(xml);
+        let a = plan.table.lookup("a");
+        let b = plan.table.lookup("b");
+        let mut rel = vec![false; plan.table.len()];
+        rel[a.index().unwrap()] = true;
+        rel[b.index().unwrap()] = true;
+        plan.relevant = Some(rel);
+        let (events, scanned, filtered) = drain(xml, plan, 64);
+        // `skip` goes, its interior `b` is still relevant and keeps its
+        // original level 3; the text directly under `a` carries level 1.
+        assert_eq!(
+            events,
+            [
+                "<a 1 #0 []",
+                "<b 3 #2 []",
+                ">b 3",
+                "t1 \"text\"",
+                "<b 2 #3 []",
+                ">b 2",
+                ">a 1",
+            ]
+        );
+        assert_eq!(scanned, 10);
+        assert_eq!(filtered, 3); // <skip>, "deep", </skip>
+    }
+
+    #[test]
+    fn text_under_a_skipped_element_is_dropped() {
+        let xml = b"<a><skip>gone</skip></a>";
+        let mut plan = full_plan(xml);
+        let a = plan.table.lookup("a");
+        let mut rel = vec![false; plan.table.len()];
+        rel[a.index().unwrap()] = true;
+        plan.relevant = Some(rel);
+        let (events, _, filtered) = drain(xml, plan, 64);
+        assert_eq!(events, ["<a 1 #0 []", ">a 1"]);
+        assert_eq!(filtered, 3);
+    }
+
+    #[test]
+    fn wants_text_false_drops_all_text() {
+        let xml = b"<a>one<b>two</b></a>";
+        let mut plan = full_plan(xml);
+        plan.wants_text = false;
+        let (events, scanned, filtered) = drain(xml, plan, 64);
+        assert_eq!(
+            events,
+            ["<a 1 #0 []", "t?", "<b 2 #1 []", ">b 2", ">a 1"]
+                .iter()
+                .filter(|s| **s != "t?")
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(scanned, 6);
+        assert_eq!(filtered, 2);
+    }
+
+    #[test]
+    fn attribute_decoding_is_gated_per_symbol() {
+        let xml = b"<a x=\"1\"><b y=\"2\"/></a>";
+        let mut plan = full_plan(xml);
+        let b = plan.table.lookup("b");
+        for (i, flag) in plan.attr_syms.iter_mut().enumerate() {
+            *flag = Some(i) == b.index();
+        }
+        let (events, _, _) = drain(xml, plan, 64);
+        assert_eq!(events, ["<a 1 #0 []", "<b 2 #1 [y=2]", ">b 2", ">a 1",]);
+    }
+
+    #[test]
+    fn batches_recycle_without_growth() {
+        let xml = b"<a><b>t</b><b>t</b><b>t</b><b>t</b></a>";
+        let plan = full_plan(xml);
+        let mut producer = BatchProducer::new(SaxReader::from_bytes(xml), plan);
+        let mut batch = EventBatch::new();
+        let mut total = 0usize;
+        while producer.next_batch(&mut batch, 3).unwrap() {
+            assert!(batch.len() <= 3);
+            total += batch.len();
+        }
+        assert_eq!(total, 14);
+    }
+}

@@ -42,6 +42,28 @@ pub fn decode_entities_with<'a>(
     Ok(Cow::Owned(out))
 }
 
+/// Decodes entity references in `raw`, appending the result to `out`
+/// (which is cleared first). Returns `false` — leaving `out` untouched —
+/// when `raw` contains no reference, so the caller can borrow `raw`
+/// directly and skip the copy.
+///
+/// This is the allocation-free form of [`decode_entities_with`]: a
+/// caller that owns a reusable scratch `String` pays no per-call heap
+/// traffic once the scratch has grown to the working-set size.
+pub fn decode_entities_into(
+    raw: &str,
+    offset: u64,
+    custom: Option<&EntityMap>,
+    out: &mut String,
+) -> SaxResult<bool> {
+    if !raw.contains('&') {
+        return Ok(false);
+    }
+    out.clear();
+    decode_into(raw, offset, custom, 0, out)?;
+    Ok(true)
+}
+
 fn decode_into(
     raw: &str,
     offset: u64,

@@ -46,6 +46,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod entity;
 mod error;
 mod event;
@@ -56,7 +57,11 @@ pub mod scan;
 mod symbol;
 mod writer;
 
-pub use entity::{decode_entities, decode_entities_with, escape_attr, escape_text, EntityMap};
+pub use batch::{BatchEvent, BatchEventKind, BatchPlan, BatchProducer, EventBatch};
+pub use entity::{
+    decode_entities, decode_entities_into, decode_entities_with, escape_attr, escape_text,
+    EntityMap,
+};
 pub use error::{SaxError, SaxResult};
 pub use event::{Attribute, EndTag, Event, NodeId, OwnedEvent, StartTag};
 pub use handler::{parse_bytes, parse_reader, SaxHandler};

@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 use std::io::Read;
 
-use crate::entity::{decode_entities_with, EntityMap};
+use crate::entity::{decode_entities_into, EntityMap};
 use crate::error::{SaxError, SaxResult};
 use crate::event::{EndTag, Event, NodeId, StartTag};
 use crate::scan;
@@ -55,6 +55,10 @@ pub struct SaxReader<R> {
     max_markup: usize,
     /// General entities declared in the DOCTYPE internal subset.
     entities: EntityMap,
+    /// Reusable decode buffer for text containing entity references:
+    /// grown once to the working-set size, then reused for every text
+    /// event instead of allocating a fresh `String` per event.
+    text_scratch: String,
     /// Events emitted so far (event accounting for telemetry).
     events: u64,
 }
@@ -124,6 +128,7 @@ impl<R: Read> SaxReader<R> {
             pending_empty_end: false,
             max_markup: DEFAULT_MAX_MARKUP,
             entities: EntityMap::new(),
+            text_scratch: String::new(),
             events: 0,
         }
     }
@@ -287,11 +292,22 @@ impl<R: Read> SaxReader<R> {
                     }
                     let offset = self.base + range.0 as u64;
                     self.events += 1;
-                    let s = self.str_at(range)?;
-                    let text = if cdata {
-                        Cow::Borrowed(s)
+                    self.str_at(range)?; // validate UTF-8
+                    let s = str_unchecked(&self.buf, range);
+                    // Decode into the reusable scratch: no per-event
+                    // `String` once the scratch has grown. `buf` and
+                    // `text_scratch` are disjoint fields, so the decode
+                    // can read one while writing the other.
+                    let text = if !cdata
+                        && decode_entities_into(
+                            s,
+                            offset,
+                            Some(&self.entities),
+                            &mut self.text_scratch,
+                        )? {
+                        Cow::Borrowed(self.text_scratch.as_str())
                     } else {
-                        decode_entities_with(s, offset, Some(&self.entities))?
+                        Cow::Borrowed(str_unchecked(&self.buf, range))
                     };
                     return Ok(Some(Event::Text(text)));
                 }

@@ -30,6 +30,7 @@
 //! differential tests use to compare whole parses end to end.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 // ---------------------------------------------------------------------
 // Byte-class table.
@@ -108,9 +109,9 @@ static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 ///
 /// Test/bench hook only: `ablation_scanner` uses it for its end-to-end
 /// scalar-vs-SWAR comparison and the differential suites for whole-parse
-/// equivalence. The flag is process-global, so tests that toggle it must
-/// not run concurrently with other scanner-dependent tests in the same
-/// process.
+/// equivalence. The flag is process-global — code that toggles it must
+/// hold a [`ScalarGuard`] so concurrent tests cannot interleave
+/// scalar/vector modes.
 pub fn set_force_scalar(enabled: bool) {
     FORCE_SCALAR.store(enabled, Ordering::Relaxed);
 }
@@ -118,6 +119,50 @@ pub fn set_force_scalar(enabled: bool) {
 /// Is the scalar fallback currently forced?
 pub fn force_scalar_enabled() -> bool {
     FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Serializes every toggler of the process-global scalar flag.
+static SCALAR_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII scope for the scalar/vector dispatch mode.
+///
+/// [`set_force_scalar`] is process-global, so two tests toggling it from
+/// parallel `cargo test` threads can silently compare scalar against
+/// scalar (or leak scalar mode into an unrelated test). `ScalarGuard`
+/// closes that hole: acquiring one takes a process-wide mutex, so
+/// togglers are mutually exclusive, and dropping it restores the mode
+/// that was in effect when the guard was taken — even on panic.
+///
+/// Code that merely *depends* on a mode (e.g. a vector-vs-scalar
+/// differential) should hold a guard for the whole comparison and flip
+/// the mode with [`ScalarGuard::set`] while holding it.
+#[must_use = "the guard restores the previous mode when dropped"]
+pub struct ScalarGuard {
+    _lock: MutexGuard<'static, ()>,
+    prev: bool,
+}
+
+impl ScalarGuard {
+    /// Acquires the toggle lock and forces the given mode until drop.
+    pub fn force(enabled: bool) -> ScalarGuard {
+        // A panic while holding the lock poisons it but leaves the `()`
+        // data trivially valid; `Drop` has already restored the mode.
+        let lock = SCALAR_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = force_scalar_enabled();
+        set_force_scalar(enabled);
+        ScalarGuard { _lock: lock, prev }
+    }
+
+    /// Switches the mode while continuing to hold the toggle lock.
+    pub fn set(&self, enabled: bool) {
+        set_force_scalar(enabled);
+    }
+}
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        set_force_scalar(self.prev);
+    }
 }
 
 #[inline]
@@ -467,13 +512,29 @@ mod tests {
 
     #[test]
     fn force_scalar_round_trips() {
+        {
+            let _guard = ScalarGuard::force(true);
+            assert!(force_scalar_enabled());
+            assert_eq!(memchr(b'b', b"ab"), Some(1));
+            assert_eq!(find_seq(b"bc", b"abc"), Some(1));
+            assert_eq!(name_run_len(b"ab c"), 2);
+        }
+        let _guard = ScalarGuard::force(false);
         assert!(!force_scalar_enabled());
-        set_force_scalar(true);
+    }
+
+    #[test]
+    fn scalar_guard_nests_and_restores_on_drop() {
+        let outer = ScalarGuard::force(true);
         assert!(force_scalar_enabled());
-        assert_eq!(memchr(b'b', b"ab"), Some(1));
-        assert_eq!(find_seq(b"bc", b"abc"), Some(1));
-        assert_eq!(name_run_len(b"ab c"), 2);
-        set_force_scalar(false);
+        outer.set(false);
         assert!(!force_scalar_enabled());
+        outer.set(true);
+        drop(outer);
+        // The outer guard entered from whatever the process default was;
+        // a fresh guard observes a consistent (unlocked) state again.
+        let inner = ScalarGuard::force(false);
+        assert!(!force_scalar_enabled());
+        drop(inner);
     }
 }

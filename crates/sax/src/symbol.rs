@@ -138,6 +138,16 @@ impl SymbolTable {
         self.names.len()
     }
 
+    /// Iterates every interned `(symbol, name)` pair in dense index
+    /// order — for building per-symbol side tables (attribute-need
+    /// flags, relevance bitmaps) outside the crate that owns the table.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (Symbol(i as u32), name.as_str()))
+    }
+
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()

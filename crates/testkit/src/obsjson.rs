@@ -305,6 +305,44 @@ pub fn validate_stats(text: &str) -> Result<(), String> {
         Json::Null | Json::Obj(_) => {}
         _ => return Err("`histograms` is neither object nor null".into()),
     }
+    // The pipeline block (absent in pre-`--threads` reports, null for
+    // serial runs) carries the batch/queue accounting of a pipelined
+    // run; the producer delivers or filters every event it scans.
+    match doc.get("pipeline") {
+        None | Some(Json::Null) => {}
+        Some(p @ Json::Obj(_)) => {
+            let mut pv: HashMap<&str, u64> = HashMap::new();
+            for key in [
+                "threads",
+                "batches",
+                "events_scanned",
+                "events_delivered",
+                "events_filtered",
+                "producer_stalls",
+                "consumer_stalls",
+                "max_queue_depth",
+                "bytes",
+            ] {
+                pv.insert(
+                    key,
+                    u64_field(p, key).map_err(|m| format!("pipeline: {m}"))?,
+                );
+            }
+            if pv["threads"] < 2 {
+                return Err(format!(
+                    "pipeline reports {} thread(s); a pipelined run has at least 2",
+                    pv["threads"]
+                ));
+            }
+            if pv["events_delivered"] + pv["events_filtered"] != pv["events_scanned"] {
+                return Err(format!(
+                    "pipeline events_delivered {} + events_filtered {} != events_scanned {}",
+                    pv["events_delivered"], pv["events_filtered"], pv["events_scanned"]
+                ));
+            }
+        }
+        Some(_) => return Err("`pipeline` is neither object nor null".into()),
+    }
 
     // Semantic invariants.
     let work = v["qualification_probes"] + v["pushes"] + v["pops"] + v["upload_probes"];
@@ -492,7 +530,7 @@ mod tests {
             r#""peak_candidates":1,"results":1,"tuples_materialized":0,"work":13,"#,
             r#""machine_size":3,"max_depth":4,"qr_bound":12,"#,
             r#""time_to_first_result_secs":0.001,"first_result_event":5,"#,
-            r#""bytes_to_first_result":40,"histograms":null}"#
+            r#""bytes_to_first_result":40,"histograms":null,"pipeline":null}"#
         )
         .to_string()
     }
@@ -515,6 +553,32 @@ mod tests {
         // Wrong schema.
         let bad = stats_fixture().replace("twigm-stats-v1", "twigm-stats-v0");
         assert!(validate_stats(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_validator_checks_the_pipeline_block() {
+        let pipelined = |block: &str| stats_fixture().replace(r#""pipeline":null"#, block);
+        // A report from before `--threads` existed has no key at all.
+        let legacy = stats_fixture().replace(r#","pipeline":null"#, "");
+        validate_stats(&legacy).unwrap();
+        let good = pipelined(concat!(
+            r#""pipeline":{"threads":2,"batches":3,"events_scanned":10,"#,
+            r#""events_delivered":8,"events_filtered":2,"producer_stalls":0,"#,
+            r#""consumer_stalls":1,"max_queue_depth":2,"bytes":100}"#
+        ));
+        validate_stats(&good).unwrap();
+        // Leaky accounting: delivered + filtered must cover scanned.
+        let bad = good.replace(r#""events_filtered":2"#, r#""events_filtered":1"#);
+        assert!(validate_stats(&bad).unwrap_err().contains("events_scanned"));
+        // A pipelined run needs a producer and a consumer.
+        let bad = good.replace(r#""threads":2"#, r#""threads":1"#);
+        assert!(validate_stats(&bad).unwrap_err().contains("at least 2"));
+        // Missing counter inside the block.
+        let bad = good.replace(r#""batches":3,"#, "");
+        assert!(validate_stats(&bad).unwrap_err().contains("batches"));
+        // Wrong type for the block itself.
+        let bad = pipelined(r#""pipeline":7"#);
+        assert!(validate_stats(&bad).unwrap_err().contains("pipeline"));
     }
 
     #[test]

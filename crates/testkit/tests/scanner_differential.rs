@@ -5,9 +5,9 @@
 //! whole vector parse == vector parse under every `FeedReader` chunk
 //! split, including a two-chunk split at *every* byte position).
 //!
-//! Everything lives in one `#[test]` because `scan::set_force_scalar` is
-//! process-global: concurrently running scanner tests would silently
-//! compare scalar against scalar.
+//! The whole sweep runs under one `scan::ScalarGuard`: the scalar/vector
+//! toggle is process-global, and the guard's mutex keeps concurrently
+//! running scanner tests from silently comparing scalar against scalar.
 
 use twigm_datagen::SplitMix64;
 use twigm_sax::scan;
@@ -107,6 +107,9 @@ fn assert_scan_level_equivalence(hay: &[u8], ctx: &str) {
 
 #[test]
 fn scalar_and_vector_scanners_agree_over_generated_corpus() {
+    // One guard for the whole sweep: serializes against every other
+    // toggler in the process and restores vector mode on exit/panic.
+    let guard = scan::ScalarGuard::force(false);
     let mut rng = SplitMix64::seed_from_u64(0x5caa_2026);
     let cfg = DocConfig::default();
     for case in 0..48 {
@@ -116,9 +119,9 @@ fn scalar_and_vector_scanners_agree_over_generated_corpus() {
         // Parser level: the vector whole parse is the reference...
         let vector = whole_events(&doc);
         // ...the forced-scalar whole parse must match it exactly...
-        scan::set_force_scalar(true);
+        guard.set(true);
         let scalar = whole_events(&doc);
-        scan::set_force_scalar(false);
+        guard.set(false);
         assert_eq!(vector, scalar, "{ctx}: scalar vs vector whole parse");
 
         // ...and so must every chunk-split battery strategy, on both the
@@ -130,9 +133,9 @@ fn scalar_and_vector_scanners_agree_over_generated_corpus() {
                 vector,
                 "{ctx}: vector {strategy:?}"
             );
-            scan::set_force_scalar(true);
+            guard.set(true);
             let scalar_chunked = chunked_events(&doc, &cuts);
-            scan::set_force_scalar(false);
+            guard.set(false);
             assert_eq!(scalar_chunked, vector, "{ctx}: scalar {strategy:?}");
         }
 
@@ -164,4 +167,5 @@ fn scalar_and_vector_scanners_agree_over_generated_corpus() {
     // One-byte splits above already exercise OneByte via STRATEGIES;
     // finish with a quick sanity check that the toggle is off.
     assert!(!scan::force_scalar_enabled());
+    drop(guard);
 }

@@ -79,4 +79,22 @@ if [ "$SCAN_SMOKE" != 0 ]; then
         --json target/BENCH_scanner.json
 fi
 
+# Pipeline smoke: the batched producer/consumer driver, the prefilter,
+# and the sharded union must reproduce the serial results exactly on
+# real Figure-5 data (the ablation asserts this before timing), and on
+# a multi-core host the best pipelined/sharded configuration must show
+# a real e2e win. The JSON lands at the repo root as the committed
+# BENCH_pipeline.json snapshot, so the default scale matches the
+# committed run (0.25, same as the figures). Scale with
+# PIPE_SMOKE_SCALE; set PIPE_SMOKE=0 to skip the stage.
+PIPE_SMOKE="${PIPE_SMOKE:-1}"
+if [ "$PIPE_SMOKE" != 0 ]; then
+    echo "==> pipeline smoke: serial-vs-pipelined differential + ablation gate"
+    cargo build --release -p twigm-bench
+    PIPELINE_ABLATION_GATE=1.3 target/release/ablation_pipeline \
+        --scale "${PIPE_SMOKE_SCALE:-0.25}" --repeats 5 \
+        --json target/BENCH_pipeline.json
+    cp target/BENCH_pipeline.json BENCH_pipeline.json
+fi
+
 echo "CI green."
